@@ -1,0 +1,27 @@
+# Developer convenience targets.
+PYTHON ?= python
+
+.PHONY: install test bench report figures examples clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.cli.main report --out results
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/solver_comparison.py 64
+	$(PYTHON) examples/deck_driven.py
+	$(PYTHON) examples/communication_avoiding.py
+	$(PYTHON) examples/scaling_study.py
+
+clean:
+	rm -rf results .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,31 @@
+"""Fig. 4 regeneration: mean temperature at convergence vs mesh size.
+
+Paper: "as the size of the mesh increases, the average temperature that the
+mesh converges to stops changing" — the justification for fixing the
+strong-scaling study at 4000x4000.  We assert the refinement deltas shrink.
+"""
+
+from repro.harness.fig4 import run_fig4
+
+from benchmarks.conftest import write_result
+
+SIZES = (16, 24, 32, 48, 64)
+
+
+def test_fig4_mesh_convergence(benchmark):
+    result = benchmark.pedantic(
+        run_fig4, kwargs=dict(mesh_sizes=SIZES, dt=1.0, eps=1e-8),
+        iterations=1, rounds=1)
+    deltas = result.deltas()
+
+    # successive refinement changes the answer less and less
+    assert deltas[-1] < deltas[0]
+    late = sum(deltas[-2:]) / 2
+    early = sum(deltas[:2]) / 2
+    assert late < early
+
+    lines = ["mesh_n,mean_temperature"]
+    lines += [f"{n},{t:.8f}" for n, t in
+              zip(result.mesh_sizes, result.mean_temperatures)]
+    write_result("fig4.csv", "\n".join(lines))
+    print("\n" + "\n".join(lines))

@@ -1,0 +1,20 @@
+"""Table I regeneration: test setup specifications."""
+
+from repro.harness.table1 import run_table1
+from repro.io.tables import format_table
+
+from benchmarks.conftest import write_result
+
+
+def test_table1(benchmark, results_dir):
+    rows = benchmark(run_table1)
+    by_name = {r["system"]: r for r in rows}
+    # the paper's Table I content
+    assert by_name["Spruce"]["compute_device"] == "2x E5-2680v2"
+    assert by_name["Piz Daint"]["compute_device"] == "NVIDIA K20x"
+    assert by_name["Titan"]["compute_device"] == "NVIDIA K20x"
+    assert by_name["Titan"]["max_nodes"] == 8192
+    headers = list(rows[0])
+    text = format_table(headers, [[r[h] for h in headers] for r in rows])
+    write_result("table1.txt", text)
+    print("\n" + text)

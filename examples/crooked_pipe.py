@@ -1,0 +1,41 @@
+"""The paper's benchmark: heat racing down the crooked pipe (Fig. 3).
+
+Runs the crooked-pipe problem to t = 15 with CPPCG on a decomposed
+4-rank world (in-process SPMD), renders the temperature field as an ASCII
+heat map, and reports per-step solver statistics.
+
+Run:  python examples/crooked_pipe.py [mesh_n]
+"""
+
+import sys
+
+from repro import Grid2D, SolverOptions, crooked_pipe, run_simulation
+from repro.io import render_heatmap
+
+
+def main(mesh_n: int = 64) -> None:
+    dt, end_time = 0.04, 15.0
+    n_steps = round(end_time / dt)
+    options = SolverOptions(solver="ppcg", eps=1e-8, ppcg_inner_steps=10,
+                            halo_depth=4)
+
+    print(f"crooked pipe: {mesh_n}x{mesh_n} mesh, {n_steps} steps of "
+          f"dt={dt} on 4 SPMD ranks, solver {options.label()}")
+    report = run_simulation(Grid2D(mesh_n, mesh_n), crooked_pipe(), options,
+                            dt=dt, n_steps=n_steps, nranks=4)
+
+    total_outer = sum(s.iterations for s in report.steps)
+    total_inner = sum(s.inner_iterations for s in report.steps)
+    print(f"total: {total_outer} outer + {total_inner} inner iterations "
+          f"across {report.n_steps} steps")
+    print(f"mean temperature (conserved): "
+          f"{report.final_mean_temperature:.6f}\n")
+
+    print(render_heatmap(report.temperature, width=72))
+    T = report.temperature
+    print(f"\ntemperature range: [{T.min():.4g}, {T.max():.4g}] — "
+          "denser glyphs are hotter; note the heat confined to the pipe.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

@@ -1,0 +1,43 @@
+"""Quickstart: one implicit heat-conduction step, three ways.
+
+Builds the TeaLeaf operator for a small crooked-pipe problem and solves
+``A u_new = u_old`` with CG, CPPCG and MG-CG, printing what each paid.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Grid2D,
+    SolverOptions,
+    crooked_pipe,
+    run_simulation,
+)
+
+
+def main() -> None:
+    grid = Grid2D(64, 64)
+    problem = crooked_pipe()
+
+    print(f"Crooked pipe on a {grid.nx}x{grid.ny} mesh "
+          f"(dx = {grid.dx:.3f}), one implicit step, dt = 0.04\n")
+
+    for options in (
+        SolverOptions(solver="cg", eps=1e-10),
+        SolverOptions(solver="ppcg", eps=1e-10, ppcg_inner_steps=10),
+        SolverOptions(solver="mgcg", eps=1e-10),
+    ):
+        report = run_simulation(grid, problem, options, n_steps=1)
+        step = report.steps[0]
+        dots = report.events.count_kind("allreduce")
+        print(f"{options.label():>10s}: {step.iterations:4d} outer "
+              f"+ {step.inner_iterations:4d} inner iterations "
+              f"(+{step.warmup_iterations} warm-up), "
+              f"{dots:4d} global reductions, "
+              f"residual {step.residual_norm:.2e}")
+
+    print("\nSame answer, very different communication bills — "
+          "that is the paper's design space.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Strong-scaling study: regenerate the paper's Figs. 5-8 from the model.
+
+Measures iteration counts with real solves at small meshes, extrapolates to
+the paper's 4000x4000, and evaluates the calibrated Titan / Piz Daint /
+Spruce machine models across node counts — printing each figure as a table
+with the paper's anchor values alongside.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.harness import run_fig5, run_fig6, run_fig7, run_fig8
+
+
+def main() -> None:
+    fig5 = run_fig5()
+    print(fig5.to_text())
+    print(f"-> PPCG-16 at 8192 nodes: {fig5.value('PPCG - 16', 8192):.2f} s "
+          "(paper: 4.26 s)\n")
+
+    fig6 = run_fig6()
+    print(fig6.to_text())
+    t = fig5.value("PPCG - 16", 2048)
+    p = fig6.value("PPCG - 16", 2048)
+    print(f"-> at 2048 nodes: Titan {t:.2f} s vs Piz Daint {p:.2f} s "
+          f"= {t / p:.2f}x (paper: 4.09 vs 2.79 = 1.47x)\n")
+
+    fig7 = run_fig7()
+    print(fig7.to_text())
+    amg_best = min(fig7.best("BoomerAMG (Hybrid)")[1],
+                   fig7.best("BoomerAMG (MPI)")[1])
+    print(f"-> best baseline time {amg_best:.2f} s at "
+          f"{fig7.best('BoomerAMG (Hybrid)')[0]} nodes; CPPCG keeps scaling "
+          f"to {fig7.best('PPCG - 1 (MPI)')[0]} nodes\n")
+
+    fig8 = run_fig8()
+    print(fig8.to_text(value_fmt="{:.3f}"))
+    print("-> Spruce above 1.0 = super-linear (cache effect); "
+          "Piz Daint above Titan = Aries vs Gemini.")
+
+
+if __name__ == "__main__":
+    main()

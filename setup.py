@@ -1,0 +1,7 @@
+"""Shim enabling legacy editable installs (`pip install -e .`) in offline
+environments without the `wheel` package; all metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

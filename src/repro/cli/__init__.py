@@ -1,0 +1,6 @@
+"""Command-line entry points.
+
+``python -m repro.cli.main tealeaf --deck tea.in`` runs a deck;
+``python -m repro.cli.main figure fig5`` regenerates a paper figure;
+``python -m repro.cli.main report --out results/`` writes everything.
+"""

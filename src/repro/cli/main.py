@@ -1,0 +1,171 @@
+"""repro command-line interface."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_tealeaf(args) -> int:
+    from repro.io.ascii_viz import render_heatmap
+    from repro.physics.deck import deck_to_problem, parse_deck
+    from repro.physics.simulation import run_simulation
+    from repro.solvers.options import SolverOptions
+
+    deck = parse_deck(args.deck)
+    options = SolverOptions(
+        solver=deck.solver,
+        eps=deck.tl_eps,
+        max_iters=deck.tl_max_iters,
+        preconditioner=deck.tl_preconditioner_type,
+        ppcg_inner_steps=deck.tl_ppcg_inner_steps,
+        halo_depth=deck.tl_ppcg_halo_depth,
+        eigen_warmup_iters=deck.tl_eigen_warmup_iters,
+    )
+    n_steps = args.steps if args.steps else deck.n_steps
+    report = run_simulation(
+        deck.grid, deck_to_problem(deck), options,
+        dt=deck.initial_timestep, n_steps=n_steps, nranks=args.ranks,
+        conductivity=deck.tl_coefficient)
+    print(f"TeaLeaf: {deck.x_cells}x{deck.y_cells} mesh, solver={deck.solver}, "
+          f"{n_steps} steps on {args.ranks} rank(s)")
+    for s in report.steps:
+        print(f"  step {s.step:4d} t={s.time:8.3f} iters={s.iterations:5d}"
+              f" (+{s.inner_iterations} inner) residual={s.residual_norm:.3e}"
+              f" mean T={s.mean_temperature:.6f}")
+    if args.show:
+        print(render_heatmap(report.temperature, width=args.width))
+    if args.out:
+        from repro.io.snapshots import save_field_npy
+        path = save_field_npy(args.out, report.temperature)
+        print(f"temperature field written to {path}")
+    if args.vtk:
+        from repro.io.vtk import write_vtk
+        density, _ = deck_to_problem(deck).paint(deck.grid)
+        path = write_vtk(args.vtk, deck.grid,
+                         {"temperature": report.temperature,
+                          "density": density})
+        print(f"VTK file written to {path}")
+    return 0
+
+
+def _cmd_solve(args) -> int:
+    """One-shot linear solve of a deck's first implicit step."""
+    import numpy as np
+
+    from repro.comm import InstrumentedComm, launch_spmd
+    from repro.mesh import Field, decompose
+    from repro.physics import cell_conductivity, face_coefficients
+    from repro.physics.deck import deck_to_problem, parse_deck
+    from repro.physics.state import global_initial_state
+    from repro.solvers import StencilOperator2D, SolverOptions, solve_linear
+    from repro.utils import EventLog
+
+    deck = parse_deck(args.deck)
+    options = SolverOptions(
+        solver=args.solver or deck.solver,
+        eps=deck.tl_eps,
+        max_iters=deck.tl_max_iters,
+        preconditioner=deck.tl_preconditioner_type,
+        ppcg_inner_steps=deck.tl_ppcg_inner_steps,
+        halo_depth=args.halo_depth or deck.tl_ppcg_halo_depth,
+    )
+    grid = deck.grid
+    density, _, u0 = global_initial_state(grid, deck_to_problem(deck))
+    kappa = cell_conductivity(density, deck.tl_coefficient)
+    rx = deck.initial_timestep / grid.dx ** 2
+    ry = deck.initial_timestep / grid.dy ** 2
+    kxg, kyg = face_coefficients(kappa, rx, ry)
+
+    def rank_main(comm):
+        log = EventLog()
+        comm = InstrumentedComm(comm, log)
+        tile = decompose(grid, comm.size)[comm.rank]
+        op = StencilOperator2D.from_global_faces(
+            tile, options.required_field_halo, kxg, kyg, comm, events=log)
+        b = Field.from_global(tile, options.required_field_halo, u0)
+        result = solve_linear(op, b, options=options)
+        return result, log
+
+    result, log = launch_spmd(rank_main, args.ranks)[0]
+    print(result.summary())
+    print(f"matvecs={log.count('matvec')} "
+          f"reductions={log.count_kind('allreduce')} "
+          f"halo exchanges={log.count_kind('halo_exchange')} "
+          f"({log.total('halo_exchange', 'bytes') / 1024:.1f} KiB)")
+    return 0 if result.converged else 1
+
+
+def _cmd_figure(args) -> int:
+    from repro.harness import fig3, fig4, fig5, fig6, fig7, fig8, table1
+    from repro.harness import breakdown, depth_sweep, future_solvers
+    mains = {
+        "table1": table1.main, "fig3": fig3.main, "fig4": fig4.main,
+        "fig5": fig5.main, "fig6": fig6.main, "fig7": fig7.main,
+        "fig8": fig8.main, "depth-sweep": depth_sweep.main,
+        "future-solvers": future_solvers.main, "breakdown": breakdown.main,
+    }
+    mains[args.name]()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.report import write_report
+    paths = write_report(Path(args.out))
+    for p in paths:
+        print(f"wrote {p}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TeaLeaf reproduction: solvers, mini-app, paper figures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tea = sub.add_parser("tealeaf", help="run an input deck")
+    p_tea.add_argument("--deck", required=True, help="tea.in-style deck file")
+    p_tea.add_argument("--ranks", type=int, default=1,
+                       help="SPMD world size (thread ranks)")
+    p_tea.add_argument("--steps", type=int, default=0,
+                       help="override step count (0: from deck end_time)")
+    p_tea.add_argument("--show", action="store_true",
+                       help="render the final temperature as ASCII")
+    p_tea.add_argument("--width", type=int, default=72)
+    p_tea.add_argument("--out", default="",
+                       help="write the final field to this .npy path")
+    p_tea.add_argument("--vtk", default="",
+                       help="write the final state to this legacy-VTK path")
+    p_tea.set_defaults(func=_cmd_tealeaf)
+
+    p_solve = sub.add_parser("solve",
+                             help="one-shot linear solve of a deck's first step")
+    p_solve.add_argument("--deck", required=True)
+    p_solve.add_argument("--ranks", type=int, default=1)
+    p_solve.add_argument("--solver", default="",
+                         help="override the deck's solver selection")
+    p_solve.add_argument("--halo-depth", type=int, default=0,
+                         help="override the matrix-powers halo depth")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper figure/table")
+    p_fig.add_argument("name", choices=["table1", "fig3", "fig4", "fig5",
+                                        "fig6", "fig7", "fig8",
+                                        "depth-sweep", "future-solvers",
+                                        "breakdown"])
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_rep = sub.add_parser("report", help="write all figures/tables to a directory")
+    p_rep.add_argument("--out", default="results")
+    p_rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

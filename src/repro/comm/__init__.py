@@ -1,0 +1,34 @@
+"""SPMD communication substrate.
+
+The paper runs TeaLeaf over MPI on up to 8192 nodes.  mpi4py is unavailable
+in this environment, so this package provides an in-process stand-in with an
+mpi4py-flavoured API:
+
+- :class:`SerialComm` — the trivial single-rank world;
+- :class:`ThreadComm` / :class:`ThreadWorld` — a real SPMD world where each
+  rank is a Python thread; point-to-point messages go through matched FIFO
+  mailboxes and collectives synchronise on barriers, so every distributed
+  algorithm (halo exchange at any depth, reduction placement, matrix powers)
+  executes genuinely decomposed;
+- :class:`InstrumentedComm` — a transparent wrapper counting messages, bytes
+  and reductions into an :class:`~repro.utils.events.EventLog`, feeding the
+  performance model;
+- :func:`launch_spmd` — run one function per rank and collect results,
+  propagating failures without deadlocking survivors.
+"""
+
+from repro.comm.base import Communicator, REDUCE_OPS
+from repro.comm.serial import SerialComm
+from repro.comm.threaded import ThreadComm, ThreadWorld
+from repro.comm.instrument import InstrumentedComm
+from repro.comm.spmd import launch_spmd
+
+__all__ = [
+    "Communicator",
+    "REDUCE_OPS",
+    "SerialComm",
+    "ThreadComm",
+    "ThreadWorld",
+    "InstrumentedComm",
+    "launch_spmd",
+]

@@ -1,0 +1,71 @@
+"""Transparent communicator wrapper that accounts traffic.
+
+The performance model needs to know, per solve, how many point-to-point
+messages, bytes and global reductions each configuration generates.  Wrapping
+any :class:`~repro.comm.base.Communicator` in :class:`InstrumentedComm`
+records those into an :class:`~repro.utils.events.EventLog` without changing
+behaviour, so the same solver code runs instrumented or not.
+"""
+
+from __future__ import annotations
+
+from repro.comm.base import Communicator, payload_bytes
+from repro.utils.events import EventLog
+
+
+class InstrumentedComm(Communicator):
+    """Delegates to an inner communicator while counting traffic.
+
+    Recorded events (kind, key):
+
+    - ``("p2p_send", tag)`` with ``bytes``
+    - ``("p2p_recv", tag)`` with ``bytes``
+    - ``("allreduce", op)`` with ``bytes`` (per-rank contribution size)
+    - ``("bcast", None)``, ``("gather", None)``, ``("allgather", None)``,
+      ``("barrier", None)``
+    """
+
+    def __init__(self, inner: Communicator, events: EventLog | None = None):
+        self.inner = inner
+        self.events = events if events is not None else EventLog()
+
+    @property
+    def rank(self) -> int:
+        return self.inner.rank
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    # -- point to point -----------------------------------------------------------
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        self.events.record("p2p_send", tag, bytes=payload_bytes(obj))
+        self.inner.send(obj, dest, tag)
+
+    def recv(self, source: int, tag: int = 0):
+        obj = self.inner.recv(source, tag)
+        self.events.record("p2p_recv", tag, bytes=payload_bytes(obj))
+        return obj
+
+    # -- collectives -----------------------------------------------------------------
+
+    def allreduce(self, value, op: str = "sum"):
+        self.events.record("allreduce", op, bytes=payload_bytes(value))
+        return self.inner.allreduce(value, op)
+
+    def bcast(self, obj, root: int = 0):
+        self.events.record("bcast", None, bytes=payload_bytes(obj))
+        return self.inner.bcast(obj, root)
+
+    def gather(self, obj, root: int = 0):
+        self.events.record("gather", None, bytes=payload_bytes(obj))
+        return self.inner.gather(obj, root)
+
+    def allgather(self, obj) -> list:
+        self.events.record("allgather", None, bytes=payload_bytes(obj))
+        return self.inner.allgather(obj)
+
+    def barrier(self) -> None:
+        self.events.record("barrier", None)
+        self.inner.barrier()

@@ -1,0 +1,85 @@
+"""Run one function per rank over a :class:`ThreadWorld` and collect results.
+
+This is the ``mpiexec`` of the in-process world: it spawns ``size`` threads,
+hands each a communicator, joins them, and re-raises the first rank failure
+(after aborting the world so no surviving rank deadlocks in a barrier or
+receive).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+from repro.comm.serial import SerialComm
+from repro.comm.threaded import ThreadWorld
+from repro.utils.errors import CommunicationError
+
+
+def launch_spmd(
+    fn: Callable,
+    size: int,
+    rank_args: Sequence[tuple] | None = None,
+) -> list:
+    """Execute ``fn(comm, *args)`` on every rank of a ``size``-rank world.
+
+    Parameters
+    ----------
+    fn:
+        The rank program.  Its first argument is the communicator; any extra
+        positional arguments come from ``rank_args[rank]``.
+    size:
+        World size.  ``size == 1`` runs inline on a :class:`SerialComm`
+        (no thread is spawned), which keeps serial reference runs cheap and
+        debuggable.
+    rank_args:
+        Optional per-rank argument tuples (length ``size``).
+
+    Returns
+    -------
+    list
+        ``fn``'s return value per rank, indexed by rank.
+    """
+    if rank_args is None:
+        rank_args = [()] * size
+    if len(rank_args) != size:
+        raise CommunicationError(
+            f"rank_args has {len(rank_args)} entries for world size {size}")
+
+    if size == 1:
+        return [fn(SerialComm(), *rank_args[0])]
+
+    world = ThreadWorld(size)
+    results: list = [None] * size
+    failures: list[tuple[int, BaseException]] = []
+    failures_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        comm = world.comm(rank)
+        try:
+            results[rank] = fn(comm, *rank_args[rank])
+        except BaseException as exc:  # noqa: BLE001 - must abort peers
+            with failures_lock:
+                failures.append((rank, exc))
+            world.abort()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}")
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if failures:
+        failures.sort(key=lambda f: f[0])
+        rank, exc = failures[0]
+        # Prefer the original error over secondary abort fallout.
+        primary = next(
+            ((r, e) for r, e in failures if not isinstance(e, CommunicationError)),
+            (rank, exc),
+        )
+        rank, exc = primary
+        raise type(exc)(f"[rank {rank}] {exc}") from exc
+    return results

@@ -1,0 +1,199 @@
+"""Thread-backed SPMD world.
+
+Each rank is an OS thread; rank code is written exactly as it would be with
+mpi4py.  Messages travel through per-``(src, dst, tag)`` FIFO mailboxes, and
+collectives synchronise on a reusable barrier with a shared slot array
+(double-barrier discipline: deposit → barrier → read → barrier, so a fast
+rank can never clobber slots a slow rank has not read yet).
+
+Determinism: reductions fold contributions in rank order, so every rank sees
+a bit-identical result regardless of thread scheduling — this is what makes
+decomposed solves reproducible run-to-run.
+
+Failure handling: when any rank raises, the world is *aborted* — the barrier
+breaks and pending receives raise :class:`CommunicationError` instead of
+hanging forever.  :func:`repro.comm.spmd.launch_spmd` relies on this to
+propagate the original error.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.comm.base import (
+    Communicator,
+    Request,
+    isolate,
+    reduce_in_rank_order,
+)
+from repro.utils.errors import CommunicationError
+
+#: How long a blocking receive waits between abort checks.
+_POLL_S = 0.02
+#: Receive timeout; exceeded only by deadlocked exchanges, so fail loudly.
+_RECV_TIMEOUT_S = 120.0
+
+
+class ThreadWorld:
+    """Shared state for a world of ``size`` thread ranks."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise CommunicationError(f"world size must be >= 1, got {size}")
+        self.size = size
+        self._mailbox_lock = threading.Lock()
+        self._mailboxes: dict[tuple[int, int, int], deque] = {}
+        self._mailbox_cv = threading.Condition(self._mailbox_lock)
+        self._barrier = threading.Barrier(size)
+        self._slots: list = [None] * size
+        self._aborted = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def abort(self) -> None:
+        """Break all pending synchronisation; called when a rank fails."""
+        self._aborted.set()
+        self._barrier.abort()
+        with self._mailbox_cv:
+            self._mailbox_cv.notify_all()
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted.is_set()
+
+    def comm(self, rank: int) -> "ThreadComm":
+        if not 0 <= rank < self.size:
+            raise CommunicationError(f"rank {rank} out of range [0,{self.size})")
+        return ThreadComm(self, rank)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _deposit(self, src: int, dst: int, tag: int, obj) -> None:
+        with self._mailbox_cv:
+            self._mailboxes.setdefault((src, dst, tag), deque()).append(obj)
+            self._mailbox_cv.notify_all()
+
+    def _collect(self, src: int, dst: int, tag: int):
+        key = (src, dst, tag)
+        deadline = _RECV_TIMEOUT_S
+        with self._mailbox_cv:
+            while True:
+                box = self._mailboxes.get(key)
+                if box:
+                    return box.popleft()
+                if self._aborted.is_set():
+                    raise CommunicationError(
+                        f"world aborted while rank {dst} awaited "
+                        f"(src={src}, tag={tag})")
+                if deadline <= 0:
+                    raise CommunicationError(
+                        f"receive timeout: rank {dst} awaiting src={src} "
+                        f"tag={tag} — probable deadlock")
+                self._mailbox_cv.wait(_POLL_S)
+                deadline -= _POLL_S
+
+    def _sync(self) -> None:
+        try:
+            self._barrier.wait()
+        except threading.BrokenBarrierError:
+            raise CommunicationError("world aborted during a collective")
+        if self._aborted.is_set():
+            raise CommunicationError("world aborted during a collective")
+
+
+class _MailboxRequest(Request):
+    """Pending receive against a world mailbox."""
+
+    def __init__(self, world: ThreadWorld, src: int, dst: int, tag: int):
+        self._world = world
+        self._key = (src, dst, tag)
+        self._value = None
+        self._done = False
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        with self._world._mailbox_cv:
+            box = self._world._mailboxes.get(self._key)
+            if box:
+                self._value = box.popleft()
+                self._done = True
+        return self._done
+
+    def wait(self):
+        if not self._done:
+            self._value = self._world._collect(*self._key)
+            self._done = True
+        return self._value
+
+
+class ThreadComm(Communicator):
+    """One rank's endpoint into a :class:`ThreadWorld`."""
+
+    def __init__(self, world: ThreadWorld, rank: int):
+        self.world = world
+        self.rank = rank
+        self.size = world.size
+
+    # -- point to point ---------------------------------------------------------
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        self._check_peer(dest)
+        self.world._deposit(self.rank, dest, tag, isolate(obj))
+
+    def recv(self, source: int, tag: int = 0):
+        self._check_peer(source)
+        return self.world._collect(source, self.rank, tag)
+
+    def irecv(self, source: int, tag: int = 0) -> Request:
+        """Truly non-blocking receive: returns a pollable request."""
+        self._check_peer(source)
+        return _MailboxRequest(self.world, source, self.rank, tag)
+
+    # -- collectives --------------------------------------------------------------
+
+    def _exchange_slots(self, value):
+        """Deposit into the slot array and return everyone's contributions."""
+        w = self.world
+        w._slots[self.rank] = value
+        w._sync()
+        values = list(w._slots)
+        w._sync()
+        return values
+
+    def allreduce(self, value, op: str = "sum"):
+        if self.size == 1:
+            return reduce_in_rank_order([value], op)
+        values = self._exchange_slots(value)
+        return reduce_in_rank_order(values, op)
+
+    def bcast(self, obj, root: int = 0):
+        self._check_root(root)
+        if self.size == 1:
+            return obj
+        values = self._exchange_slots(obj if self.rank == root else None)
+        return values[root] if self.rank == root else isolate(values[root])
+
+    def gather(self, obj, root: int = 0):
+        self._check_root(root)
+        values = self._exchange_slots(obj)
+        if self.rank != root:
+            return None
+        return [v if r == self.rank else isolate(v)
+                for r, v in enumerate(values)]
+
+    def allgather(self, obj) -> list:
+        values = self._exchange_slots(obj)
+        return [isolate(v) for v in values]
+
+    def barrier(self) -> None:
+        if self.size > 1:
+            self.world._sync()
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise CommunicationError(
+                f"root {root} out of range [0,{self.size})")

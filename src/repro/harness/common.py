@@ -1,0 +1,87 @@
+"""Shared harness configuration and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.io.tables import format_series_table
+from repro.perfmodel.iterations import IterationModel, fit_iteration_model
+from repro.perfmodel.profiles import SolverConfig
+from repro.utils.errors import ConfigurationError
+
+#: The paper's production mesh (§V-B: "strong scaling of mesh converged
+#: calculations of 4000x4000").
+BENCH_MESH = 4000
+#: Solve campaign length the scaling figures charge (a TeaLeaf
+#: benchmark-deck-style handful of implicit steps; see EXPERIMENTS.md).
+BENCH_STEPS = 5
+#: Tolerance used for iteration-count measurement (TeaLeaf tl_eps scale).
+BENCH_EPS = 1e-10
+
+
+def gpu_node_counts(max_nodes: int) -> list[int]:
+    """1, 2, 4, ... up to the machine's node count (Figs. 5-6 x-axis)."""
+    counts, n = [], 1
+    while n <= max_nodes:
+        counts.append(n)
+        n *= 2
+    return counts
+
+
+def spruce_node_counts() -> list[int]:
+    """Fig. 7 x-axis: 1..1024."""
+    return gpu_node_counts(1024)
+
+
+@lru_cache(maxsize=64)
+def _fit_cached(solver: str, inner_steps: int, halo_depth: int,
+                preconditioner: str) -> IterationModel:
+    return fit_iteration_model(
+        SolverConfig(solver, inner_steps, halo_depth, preconditioner),
+        eps=BENCH_EPS)
+
+
+def iteration_model_for(config: SolverConfig) -> IterationModel:
+    """Memoised iteration-count model (measurement solves are cached)."""
+    return _fit_cached(config.solver, config.inner_steps, config.halo_depth,
+                       config.preconditioner)
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: labelled series over a node-count axis."""
+
+    name: str
+    node_counts: list[int]
+    series: dict[str, list[float]] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def add(self, label: str, values: list[float]) -> None:
+        if len(values) != len(self.node_counts):
+            raise ConfigurationError(
+                f"series {label!r} has {len(values)} points for "
+                f"{len(self.node_counts)} node counts")
+        self.series[label] = list(values)
+
+    def value(self, label: str, nodes: int) -> float:
+        return self.series[label][self.node_counts.index(nodes)]
+
+    def best(self, label: str) -> tuple[int, float]:
+        """(node count, value) of the series minimum."""
+        vals = self.series[label]
+        i = min(range(len(vals)), key=vals.__getitem__)
+        return self.node_counts[i], vals[i]
+
+    def to_text(self, value_fmt: str = "{:.2f}") -> str:
+        header = f"== {self.name} =="
+        body = format_series_table(self.node_counts, self.series, value_fmt)
+        return f"{header}\n{body}"
+
+    def to_csv(self) -> str:
+        lines = ["nodes," + ",".join(self.series)]
+        for i, n in enumerate(self.node_counts):
+            lines.append(
+                f"{n}," + ",".join(f"{self.series[s][i]:.6g}"
+                                   for s in self.series))
+        return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Fig. 6: CUDA strong scaling on Piz Daint (1-2048 nodes).
+
+Same configurations as Fig. 5; the interconnect (Aries dragonfly vs
+Gemini torus) is what separates the two figures — the paper attributes
+Piz Daint's 47% advantage at 2048 nodes to "the fully connected network".
+"""
+
+from __future__ import annotations
+
+from repro.harness.common import BENCH_MESH, BENCH_STEPS, FigureSeries
+from repro.harness.fig5 import run_gpu_scaling
+from repro.perfmodel.machines import PIZ_DAINT
+
+
+def run_fig6(mesh_n: int = BENCH_MESH,
+             n_steps: int = BENCH_STEPS) -> FigureSeries:
+    return run_gpu_scaling(PIZ_DAINT,
+                           "Fig. 6: CUDA strong scaling on Piz Daint",
+                           mesh_n, n_steps)
+
+
+def main() -> str:
+    fig = run_fig6()
+    text = fig.to_text()
+    text += (f"\nPPCG-16 at 2048 nodes: "
+             f"{fig.value('PPCG - 16', 2048):.2f} s (paper: 2.79 s)")
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

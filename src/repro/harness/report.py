@@ -1,0 +1,42 @@
+"""Write every table and figure to a results directory."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.harness import fig3, fig4, fig5, fig6, fig7, fig8, table1
+
+
+def write_report(out_dir: Path, fig3_mesh: int = 48) -> list[Path]:
+    """Regenerate all experiments; returns the written paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+
+    def write(name: str, text: str) -> None:
+        p = out_dir / name
+        p.write_text(text + "\n", encoding="utf-8")
+        paths.append(p)
+
+    rows = table1.run_table1()
+    headers = list(rows[0])
+    from repro.io.tables import format_table
+    write("table1.txt",
+          format_table(headers, [[r[h] for h in headers] for r in rows]))
+
+    r3 = fig3.run_fig3(fig3_mesh)
+    write("fig3.txt", r3.render())
+    from repro.io.snapshots import save_field_csv
+    paths.append(save_field_csv(out_dir / "fig3_temperature.csv",
+                                r3.temperature))
+
+    r4 = fig4.run_fig4()
+    write("fig4.csv", "mesh_n,mean_temperature\n" + "\n".join(
+        f"{n},{t:.8f}" for n, t in zip(r4.mesh_sizes, r4.mean_temperatures)))
+
+    for name, runner in (("fig5", fig5.run_fig5), ("fig6", fig6.run_fig6),
+                         ("fig7", fig7.run_fig7), ("fig8", fig8.run_fig8)):
+        fig = runner()
+        write(f"{name}.csv", fig.to_csv())
+        write(f"{name}.txt", fig.to_text())
+    return paths

@@ -1,0 +1,17 @@
+"""Output helpers: text tables, ASCII field rendering, snapshots."""
+
+from repro.io.tables import format_table, format_series_table
+from repro.io.ascii_viz import render_heatmap
+from repro.io.snapshots import save_field_npy, save_field_csv, load_field_npy
+from repro.io.vtk import write_vtk, read_vtk
+
+__all__ = [
+    "format_table",
+    "format_series_table",
+    "render_heatmap",
+    "save_field_npy",
+    "save_field_csv",
+    "load_field_npy",
+    "write_vtk",
+    "read_vtk",
+]

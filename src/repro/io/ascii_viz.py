@@ -1,0 +1,62 @@
+"""ASCII heat-map rendering (matplotlib-free Fig. 3).
+
+Maps a 2D field onto a character ramp, downsampling to a requested
+terminal width.  "Redder colors indicate higher temperatures" becomes
+denser glyphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive, require
+
+#: Light -> dense ramp (cold -> hot).
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def render_heatmap(field: np.ndarray, width: int = 72,
+                   ramp: str = DEFAULT_RAMP,
+                   log_scale: bool = True,
+                   origin_lower: bool = True) -> str:
+    """Render a 2D array as ASCII art.
+
+    Parameters
+    ----------
+    field:
+        ``(ny, nx)`` array, row 0 at the bottom of the domain.
+    width:
+        Output width in characters; height follows the aspect ratio
+        (halved, since terminal cells are ~2x taller than wide).
+    log_scale:
+        Normalise in log space — the crooked-pipe temperatures span four
+        orders of magnitude, linear scaling shows nothing.
+    origin_lower:
+        Print row 0 at the bottom (matching the paper's plot orientation).
+    """
+    check_positive("width", width)
+    require(field.ndim == 2, f"need a 2D array, got shape {field.shape}")
+    require(len(ramp) >= 2, "ramp needs at least two glyphs")
+    ny, nx = field.shape
+    width = min(width, nx)
+    height = max(1, round(ny / nx * width / 2))
+
+    # Block-average downsample via bin assignment.
+    ybins = np.linspace(0, ny, height + 1).astype(int)
+    xbins = np.linspace(0, nx, width + 1).astype(int)
+    small = np.empty((height, width))
+    for i in range(height):
+        band = field[ybins[i]:max(ybins[i + 1], ybins[i] + 1)]
+        for j in range(width):
+            small[i, j] = band[:, xbins[j]:max(xbins[j + 1], xbins[j] + 1)].mean()
+
+    vals = np.log10(np.maximum(small, 1e-300)) if log_scale else small
+    lo, hi = float(vals.min()), float(vals.max())
+    if hi <= lo:
+        idx = np.zeros_like(vals, dtype=int)
+    else:
+        idx = ((vals - lo) / (hi - lo) * (len(ramp) - 1)).round().astype(int)
+    rows = ["".join(ramp[k] for k in line) for line in idx]
+    if origin_lower:
+        rows.reverse()
+    return "\n".join(rows)

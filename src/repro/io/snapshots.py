@@ -1,0 +1,32 @@
+"""Field snapshot persistence (NumPy binary and CSV)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.validation import require
+
+
+def save_field_npy(path, field: np.ndarray) -> Path:
+    """Save a field as ``.npy``; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.save(path, np.asarray(field))
+    return path if path.suffix == ".npy" else path.with_suffix(".npy")
+
+
+def load_field_npy(path) -> np.ndarray:
+    """Load a field saved by :func:`save_field_npy`."""
+    return np.load(Path(path))
+
+
+def save_field_csv(path, field: np.ndarray, fmt: str = "%.10e") -> Path:
+    """Save a 2D field as CSV (one row per mesh row)."""
+    field = np.asarray(field)
+    require(field.ndim == 2, f"need a 2D array, got shape {field.shape}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savetxt(path, field, delimiter=",", fmt=fmt)
+    return path

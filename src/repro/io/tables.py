@@ -1,0 +1,47 @@
+"""Plain-text table formatting for harness output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.utils.errors import ConfigurationError
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 float_fmt: str = "{:.3f}") -> str:
+    """Render an aligned text table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    """
+    def fmt(v):
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    srows = [[fmt(v) for v in row] for row in rows]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [max(len(h), *(len(r[i]) for r in srows)) if srows else len(h)
+              for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in srows:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(node_counts: Sequence[int],
+                        series: dict[str, Sequence[float]],
+                        value_fmt: str = "{:.2f}") -> str:
+    """A figure as a table: one row per node count, one column per line."""
+    headers = ["Nodes"] + list(series)
+    rows = []
+    for i, n in enumerate(node_counts):
+        row = [str(n)]
+        for label in series:
+            vals = series[label]
+            row.append(value_fmt.format(vals[i]) if i < len(vals) else "-")
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,112 @@
+"""Legacy-VTK output (TeaLeaf's ``visit_frequency`` files).
+
+TeaLeaf periodically dumps its fields as legacy ASCII VTK rectilinear
+grids for VisIt/ParaView.  This writer reproduces that format for 2D and
+3D cell-centred fields; the reader exists so the tests (and users without
+a visualiser) can round-trip the files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.grid import Grid2D, Grid3D
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import require
+
+
+def write_vtk(path, grid: Grid2D | Grid3D,
+              fields: dict[str, np.ndarray],
+              title: str = "tealeaf") -> Path:
+    """Write cell-centred fields on a rectilinear grid as legacy VTK.
+
+    ``fields`` maps names to arrays of the grid's shape.  Returns the
+    written path.
+    """
+    require(bool(fields), "need at least one field to write")
+    if isinstance(grid, Grid2D):
+        nx, ny, nz = grid.nx, grid.ny, 1
+        xmin, xmax, ymin, ymax = grid.extent
+        zmin, zmax = 0.0, 0.0
+        dx, dy, dz = grid.dx, grid.dy, 0.0
+    elif isinstance(grid, Grid3D):
+        nx, ny, nz = grid.nx, grid.ny, grid.nz
+        xmin, xmax, ymin, ymax, zmin, zmax = grid.extent
+        dx, dy, dz = grid.dx, grid.dy, grid.dz
+    else:
+        raise ConfigurationError(f"unsupported grid type {type(grid)}")
+    n_cells = nx * ny * nz
+    for name, arr in fields.items():
+        require(np.asarray(arr).size == n_cells,
+                f"field {name!r} has {np.asarray(arr).size} values for "
+                f"{n_cells} cells")
+        require(" " not in name, f"VTK field names cannot contain spaces: "
+                f"{name!r}")
+
+    def coords(lo: float, n: int, d: float) -> str:
+        return " ".join(f"{lo + i * d:.10g}" for i in range(n + 1))
+
+    lines = [
+        "# vtk DataFile Version 3.0",
+        title,
+        "ASCII",
+        "DATASET RECTILINEAR_GRID",
+        f"DIMENSIONS {nx + 1} {ny + 1} {nz + 1}",
+        f"X_COORDINATES {nx + 1} double",
+        coords(xmin, nx, dx),
+        f"Y_COORDINATES {ny + 1} double",
+        coords(ymin, ny, dy),
+        f"Z_COORDINATES {nz + 1} double",
+        coords(zmin, nz, dz) if nz > 0 else "0",
+        f"CELL_DATA {n_cells}",
+    ]
+    for name, arr in fields.items():
+        lines.append(f"SCALARS {name} double 1")
+        lines.append("LOOKUP_TABLE default")
+        flat = np.asarray(arr, dtype=np.float64).ravel()
+        for start in range(0, flat.size, 6):
+            lines.append(" ".join(f"{v:.10e}"
+                                  for v in flat[start:start + 6]))
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text("\n".join(lines) + "\n", encoding="ascii")
+    return path
+
+
+def read_vtk(path) -> tuple[tuple[int, ...], dict[str, np.ndarray]]:
+    """Read a file written by :func:`write_vtk`.
+
+    Returns ``(cell_shape, fields)`` where ``cell_shape`` is ``(ny, nx)``
+    or ``(nz, ny, nx)`` and fields are reshaped to it.
+    """
+    tokens = Path(path).read_text(encoding="ascii").split()
+    it = iter(range(len(tokens)))
+
+    def find(word: str, start: int = 0) -> int:
+        for i in range(start, len(tokens)):
+            if tokens[i] == word:
+                return i
+        raise ConfigurationError(f"malformed VTK file: missing {word}")
+
+    i = find("DIMENSIONS")
+    nx = int(tokens[i + 1]) - 1
+    ny = int(tokens[i + 2]) - 1
+    nz = int(tokens[i + 3]) - 1
+    i = find("CELL_DATA")
+    n_cells = int(tokens[i + 1])
+    shape = (nz, ny, nx) if nz > 1 else (ny, nx)
+    fields: dict[str, np.ndarray] = {}
+    pos = i + 2
+    while pos < len(tokens):
+        if tokens[pos] != "SCALARS":
+            pos += 1
+            continue
+        name = tokens[pos + 1]
+        data_start = find("default", pos) + 1
+        vals = np.array([float(v)
+                         for v in tokens[data_start:data_start + n_cells]])
+        fields[name] = vals.reshape(shape)
+        pos = data_start + n_cells
+    return shape, fields

@@ -1,0 +1,38 @@
+"""Structured mesh: grids, rectangular decomposition, halo'd fields.
+
+TeaLeaf stores cell-centred quantities on a regular 2D (or 3D) grid that is
+spatially decomposed into rectangular tiles, one per MPI rank, each padded
+with ``halo_depth`` layers of ghost cells.  This package provides:
+
+- :class:`Grid2D` / :class:`Grid3D` — global grid geometry,
+- :func:`decompose` — rank-count → tile layout with neighbour topology,
+- :class:`Field` — a halo-padded cell-centred array with interior views,
+- :class:`HaloExchanger` — depth-*d* ghost exchange over a communicator
+  (the two-phase scheme that also fills corner halos, as required by the
+  matrix powers kernel).
+"""
+
+from repro.mesh.grid import Grid2D, Grid3D
+from repro.mesh.decomposition import Tile, decompose, tile_for_rank, choose_factors
+from repro.mesh.decomposition3d import Tile3D, choose_factors_3d, decompose3d
+from repro.mesh.field import Field
+from repro.mesh.field3d import Field3D
+from repro.mesh.halo import HaloExchanger, reflect_boundaries
+from repro.mesh.halo3d import HaloExchanger3D
+
+__all__ = [
+    "Grid2D",
+    "Grid3D",
+    "Tile",
+    "Tile3D",
+    "decompose",
+    "decompose3d",
+    "tile_for_rank",
+    "choose_factors",
+    "choose_factors_3d",
+    "Field",
+    "Field3D",
+    "HaloExchanger",
+    "HaloExchanger3D",
+    "reflect_boundaries",
+]

@@ -1,0 +1,193 @@
+"""Rectangular domain decomposition with neighbour topology.
+
+TeaLeaf decomposes the global grid into a ``px`` x ``py`` grid of rectangular
+tiles, one per MPI rank, choosing the factorisation of the rank count whose
+tile aspect ratio best matches the mesh (minimising halo surface, hence
+communication volume).  This module reproduces that scheme and additionally
+exposes the neighbour topology each tile needs for halo exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mesh.grid import Grid2D
+from repro.utils.errors import DecompositionError
+
+
+def choose_factors(nranks: int, nx: int, ny: int) -> tuple[int, int]:
+    """Pick ``(px, py)`` with ``px*py == nranks`` minimising halo perimeter.
+
+    The perimeter of cut edges for a ``px x py`` layout of an ``nx x ny``
+    mesh is ``(px-1)*ny + (py-1)*nx``; we minimise it exactly over all
+    factorisations (ties broken toward wider-in-x layouts, matching
+    TeaLeaf's preference for contiguous rows).
+    """
+    if nranks < 1:
+        raise DecompositionError(f"nranks must be >= 1, got {nranks}")
+    best = None
+    for px in range(1, nranks + 1):
+        if nranks % px:
+            continue
+        py = nranks // px
+        cut = (px - 1) * ny + (py - 1) * nx
+        key = (cut, py)  # prefer fewer rows of ranks on ties
+        if best is None or key < best[0]:
+            best = (key, (px, py))
+    return best[1]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One rank's rectangular patch of the global grid.
+
+    Attributes
+    ----------
+    rank:
+        Owning rank id in ``[0, px*py)``; ranks are laid out row-major
+        (x fastest), i.e. ``rank = cy*px + cx``.
+    cx, cy:
+        Tile coordinates in the process grid.
+    px, py:
+        Process-grid dimensions.
+    x0, x1, y0, y1:
+        Global half-open cell ranges ``[x0, x1) x [y0, y1)`` owned by
+        this tile.
+    """
+
+    rank: int
+    cx: int
+    cy: int
+    px: int
+    py: int
+    x0: int
+    x1: int
+    y0: int
+    y1: int
+
+    @property
+    def nx(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def ny(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Local interior array shape ``(ny, nx)``."""
+        return (self.ny, self.nx)
+
+    @property
+    def n_cells(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def global_slices(self) -> tuple[slice, slice]:
+        """Slices selecting this tile from a global ``(ny, nx)`` array."""
+        return (slice(self.y0, self.y1), slice(self.x0, self.x1))
+
+    # -- neighbour topology -------------------------------------------------
+
+    def _nbr(self, dx: int, dy: int) -> int | None:
+        cx, cy = self.cx + dx, self.cy + dy
+        if 0 <= cx < self.px and 0 <= cy < self.py:
+            return cy * self.px + cx
+        return None
+
+    @property
+    def left(self) -> int | None:
+        """Rank owning the tile at smaller x, or None at the boundary."""
+        return self._nbr(-1, 0)
+
+    @property
+    def right(self) -> int | None:
+        return self._nbr(+1, 0)
+
+    @property
+    def down(self) -> int | None:
+        """Rank owning the tile at smaller y, or None at the boundary."""
+        return self._nbr(0, -1)
+
+    @property
+    def up(self) -> int | None:
+        return self._nbr(0, +1)
+
+    @property
+    def neighbors(self) -> dict[str, int | None]:
+        return {"left": self.left, "right": self.right,
+                "down": self.down, "up": self.up}
+
+    @property
+    def n_neighbors(self) -> int:
+        return sum(1 for r in self.neighbors.values() if r is not None)
+
+    def extension(self, depth: int) -> dict[str, int]:
+        """Extension amounts toward each neighbour for matrix-powers bounds.
+
+        A side facing a physical boundary never extends (there is no fresh
+        halo data there, and boundary face coefficients are zero).
+        """
+        return {
+            side: (depth if nbr is not None else 0)
+            for side, nbr in self.neighbors.items()
+        }
+
+
+def _split(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``n`` cells into ``parts`` contiguous near-equal ranges."""
+    base, extra = divmod(n, parts)
+    ranges, start = [], 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def decompose(grid: Grid2D, nranks: int,
+              factors: tuple[int, int] | None = None) -> list[Tile]:
+    """Decompose ``grid`` into one :class:`Tile` per rank.
+
+    Parameters
+    ----------
+    grid:
+        The global grid.
+    nranks:
+        Number of ranks; every rank must receive at least one cell in each
+        direction, otherwise :class:`DecompositionError` is raised (the
+        paper's strong-scaling limit: "barely four grid points per PE").
+    factors:
+        Optional explicit ``(px, py)`` override (must multiply to
+        ``nranks``); by default chosen by :func:`choose_factors`.
+    """
+    if factors is None:
+        px, py = choose_factors(nranks, grid.nx, grid.ny)
+    else:
+        px, py = factors
+        if px * py != nranks:
+            raise DecompositionError(
+                f"factors {px}x{py} != nranks {nranks}")
+    if px > grid.nx or py > grid.ny:
+        raise DecompositionError(
+            f"cannot give each of {px}x{py} ranks a nonempty tile of a "
+            f"{grid.nx}x{grid.ny} grid")
+    xranges = _split(grid.nx, px)
+    yranges = _split(grid.ny, py)
+    tiles = []
+    for cy in range(py):
+        for cx in range(px):
+            rank = cy * px + cx
+            x0, x1 = xranges[cx]
+            y0, y1 = yranges[cy]
+            tiles.append(Tile(rank=rank, cx=cx, cy=cy, px=px, py=py,
+                              x0=x0, x1=x1, y0=y0, y1=y1))
+    return tiles
+
+
+def tile_for_rank(grid: Grid2D, nranks: int, rank: int,
+                  factors: tuple[int, int] | None = None) -> Tile:
+    """Convenience: the tile a given ``rank`` owns under :func:`decompose`."""
+    if not 0 <= rank < nranks:
+        raise DecompositionError(f"rank {rank} out of range [0,{nranks})")
+    return decompose(grid, nranks, factors)[rank]

@@ -1,0 +1,157 @@
+"""3D rectangular (cuboid) domain decomposition.
+
+The 3D analogue of :mod:`repro.mesh.decomposition`: the global grid is
+split into a ``px x py x pz`` grid of cuboid tiles, choosing the rank
+factorisation that minimises the total cut surface (halo volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mesh.decomposition import _split
+from repro.mesh.grid import Grid3D
+from repro.utils.errors import DecompositionError
+
+#: Side names, paired by axis: (low, high) in x, y, z.
+SIDES_3D = ("left", "right", "down", "up", "back", "front")
+
+
+def choose_factors_3d(nranks: int, nx: int, ny: int, nz: int
+                      ) -> tuple[int, int, int]:
+    """Pick ``(px, py, pz)`` minimising the cut surface."""
+    if nranks < 1:
+        raise DecompositionError(f"nranks must be >= 1, got {nranks}")
+    best = None
+    for px in range(1, nranks + 1):
+        if nranks % px:
+            continue
+        rem = nranks // px
+        for py in range(1, rem + 1):
+            if rem % py:
+                continue
+            pz = rem // py
+            cut = ((px - 1) * ny * nz + (py - 1) * nx * nz
+                   + (pz - 1) * nx * ny)
+            key = (cut, pz, py)
+            if best is None or key < best[0]:
+                best = (key, (px, py, pz))
+    return best[1]
+
+
+@dataclass(frozen=True)
+class Tile3D:
+    """One rank's cuboid patch; ``rank = (cz*py + cy)*px + cx``."""
+
+    rank: int
+    cx: int
+    cy: int
+    cz: int
+    px: int
+    py: int
+    pz: int
+    x0: int
+    x1: int
+    y0: int
+    y1: int
+    z0: int
+    z1: int
+
+    @property
+    def nx(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def ny(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def nz(self) -> int:
+        return self.z1 - self.z0
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Local interior array shape ``(nz, ny, nx)``."""
+        return (self.nz, self.ny, self.nx)
+
+    @property
+    def n_cells(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def global_slices(self) -> tuple[slice, slice, slice]:
+        return (slice(self.z0, self.z1), slice(self.y0, self.y1),
+                slice(self.x0, self.x1))
+
+    def _nbr(self, dx: int, dy: int, dz: int) -> int | None:
+        cx, cy, cz = self.cx + dx, self.cy + dy, self.cz + dz
+        if 0 <= cx < self.px and 0 <= cy < self.py and 0 <= cz < self.pz:
+            return (cz * self.py + cy) * self.px + cx
+        return None
+
+    @property
+    def left(self) -> int | None:
+        return self._nbr(-1, 0, 0)
+
+    @property
+    def right(self) -> int | None:
+        return self._nbr(+1, 0, 0)
+
+    @property
+    def down(self) -> int | None:
+        return self._nbr(0, -1, 0)
+
+    @property
+    def up(self) -> int | None:
+        return self._nbr(0, +1, 0)
+
+    @property
+    def back(self) -> int | None:
+        return self._nbr(0, 0, -1)
+
+    @property
+    def front(self) -> int | None:
+        return self._nbr(0, 0, +1)
+
+    @property
+    def neighbors(self) -> dict[str, int | None]:
+        return {side: getattr(self, side) for side in SIDES_3D}
+
+    @property
+    def n_neighbors(self) -> int:
+        return sum(1 for r in self.neighbors.values() if r is not None)
+
+    def extension(self, depth: int) -> dict[str, int]:
+        """Extension toward each neighbour (zero at physical boundaries)."""
+        return {side: (depth if nbr is not None else 0)
+                for side, nbr in self.neighbors.items()}
+
+
+def decompose3d(grid: Grid3D, nranks: int,
+                factors: tuple[int, int, int] | None = None) -> list[Tile3D]:
+    """Decompose a 3D grid into one :class:`Tile3D` per rank."""
+    if factors is None:
+        px, py, pz = choose_factors_3d(nranks, grid.nx, grid.ny, grid.nz)
+    else:
+        px, py, pz = factors
+        if px * py * pz != nranks:
+            raise DecompositionError(
+                f"factors {px}x{py}x{pz} != nranks {nranks}")
+    if px > grid.nx or py > grid.ny or pz > grid.nz:
+        raise DecompositionError(
+            f"cannot give each of {px}x{py}x{pz} ranks a nonempty tile of "
+            f"a {grid.nx}x{grid.ny}x{grid.nz} grid")
+    xr = _split(grid.nx, px)
+    yr = _split(grid.ny, py)
+    zr = _split(grid.nz, pz)
+    tiles = []
+    for cz in range(pz):
+        for cy in range(py):
+            for cx in range(px):
+                rank = (cz * py + cy) * px + cx
+                tiles.append(Tile3D(
+                    rank=rank, cx=cx, cy=cy, cz=cz, px=px, py=py, pz=pz,
+                    x0=xr[cx][0], x1=xr[cx][1],
+                    y0=yr[cy][0], y1=yr[cy][1],
+                    z0=zr[cz][0], z1=zr[cz][1]))
+    return tiles

@@ -1,0 +1,132 @@
+"""Halo-padded cell-centred fields.
+
+A :class:`Field` owns a ``(ny + 2h, nx + 2h)`` array where ``h`` is the halo
+depth.  TeaLeaf's matrix powers kernel needs halos "up to 16 deep", so the
+depth is a per-field parameter; the interior and arbitrarily *extended*
+regions (interior grown by ``e <= h`` cells toward neighbouring ranks) are
+exposed as NumPy views so kernels never copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.decomposition import Tile
+from repro.utils.validation import check_positive, require
+
+
+@dataclass
+class Field:
+    """A rank-local cell-centred array padded with ghost layers.
+
+    Parameters
+    ----------
+    tile:
+        The owning tile (provides interior shape and neighbour topology).
+    halo:
+        Ghost-layer depth ``h >= 1``.
+    data:
+        Optional pre-existing padded array of shape
+        ``(tile.ny + 2h, tile.nx + 2h)``; allocated (zeros) when omitted.
+    """
+
+    tile: Tile
+    halo: int
+    data: np.ndarray = None
+
+    def __post_init__(self):
+        check_positive("halo", self.halo)
+        shape = (self.tile.ny + 2 * self.halo, self.tile.nx + 2 * self.halo)
+        if self.data is None:
+            self.data = np.zeros(shape, dtype=np.float64)
+        else:
+            require(self.data.shape == shape,
+                    f"padded data shape {self.data.shape} != expected {shape}")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_global(cls, tile: Tile, halo: int, global_array: np.ndarray) -> "Field":
+        """Create a field whose interior is this tile's slice of a global array."""
+        f = cls(tile, halo)
+        f.interior[...] = global_array[tile.global_slices]
+        return f
+
+    @classmethod
+    def like(cls, other: "Field") -> "Field":
+        """A zeroed field with the same tile and halo depth."""
+        return cls(other.tile, other.halo)
+
+    def copy(self) -> "Field":
+        return Field(self.tile, self.halo, self.data.copy())
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def interior(self) -> np.ndarray:
+        """View of the owned (non-ghost) cells, shape ``(ny, nx)``."""
+        h = self.halo
+        return self.data[h:h + self.tile.ny, h:h + self.tile.nx]
+
+    @interior.setter
+    def interior(self, value) -> None:
+        # Enables `f.interior += v` / `f.interior = arr`: the augmented
+        # assignment mutates the view in place and then re-assigns it here.
+        h = self.halo
+        self.data[h:h + self.tile.ny, h:h + self.tile.nx] = value
+
+    def region(self, ext: dict[str, int] | int = 0) -> tuple[slice, slice]:
+        """Padded-array slices of the interior grown by ``ext`` per side.
+
+        ``ext`` is either a uniform integer or a dict with keys
+        ``left/right/down/up``.  Growth is clipped to sides that actually
+        have a neighbouring rank (physical boundaries never extend); this is
+        the "extended loop bounds" of the matrix powers kernel (paper
+        Fig. 2).
+        """
+        if isinstance(ext, int):
+            ext = self.tile.extension(ext)
+        for side, e in ext.items():
+            require(0 <= e <= self.halo,
+                    f"extension {e} on {side} exceeds halo depth {self.halo}")
+        h, t = self.halo, self.tile
+        rows = slice(h - ext.get("down", 0), h + t.ny + ext.get("up", 0))
+        cols = slice(h - ext.get("left", 0), h + t.nx + ext.get("right", 0))
+        return rows, cols
+
+    def extended(self, ext: dict[str, int] | int) -> np.ndarray:
+        """View of the interior grown by ``ext`` toward neighbouring ranks."""
+        rows, cols = self.region(ext)
+        return self.data[rows, cols]
+
+    # -- mutation helpers ----------------------------------------------------
+
+    def fill(self, value: float) -> "Field":
+        self.data.fill(value)
+        return self
+
+    def zero_halos(self) -> "Field":
+        """Zero every ghost cell, keeping the interior intact."""
+        keep = self.interior.copy()
+        self.data.fill(0.0)
+        self.interior[...] = keep
+        return self
+
+    # -- reductions (rank-local; global reductions live on the operator) -----
+
+    def local_dot(self, other: "Field") -> float:
+        """Rank-local interior dot product."""
+        return float(np.dot(self.interior.ravel(), other.interior.ravel()))
+
+    def local_sum(self) -> float:
+        return float(self.interior.sum())
+
+    def local_norm2(self) -> float:
+        """Rank-local squared 2-norm of the interior."""
+        return self.local_dot(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Field(rank={self.tile.rank}, interior={self.tile.shape}, "
+                f"halo={self.halo})")

@@ -1,0 +1,189 @@
+"""Depth-*d* halo exchange between neighbouring tiles.
+
+The exchange is the classic two-phase scheme TeaLeaf uses:
+
+1. **x-phase** — swap ``d`` columns with the left/right neighbours over the
+   interior row range;
+2. **y-phase** — swap ``d`` rows with the down/up neighbours over the row
+   range *including* the x-halos just received.
+
+After both phases every ghost cell within depth ``d`` — including the corner
+blocks — holds fresh neighbour data, which is exactly what the matrix powers
+kernel requires before running ``d`` stencil applications without further
+communication (paper Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+import numpy as np
+
+from repro.mesh.field import Field
+from repro.utils.errors import CommunicationError
+from repro.utils.events import EventLog
+
+# Distinct tag streams per (phase, direction) so concurrent exchanges of
+# different fields cannot cross-match.
+_TAG_LEFT, _TAG_RIGHT, _TAG_DOWN, _TAG_UP = 101, 102, 103, 104
+
+
+@dataclass
+class HaloExchanger:
+    """Performs ghost-cell exchanges for one rank's fields.
+
+    Parameters
+    ----------
+    comm:
+        A communicator exposing ``send(obj, dest, tag)`` and
+        ``recv(source, tag)`` (see :mod:`repro.comm`).
+    events:
+        Optional :class:`EventLog`; each call records a
+        ``("halo_exchange", depth)`` event with the payload byte count.
+    """
+
+    comm: object
+    events: EventLog | None = dc_field(default=None)
+
+    def exchange(self, fields: Field | list[Field], depth: int = 1) -> None:
+        """Exchange depth-``depth`` halos for one or more fields.
+
+        Multiple fields passed together are exchanged in one logical event
+        (TeaLeaf packs several arrays per message); payload bytes accumulate
+        across them.
+        """
+        if isinstance(fields, Field):
+            fields = [fields]
+        if not fields:
+            return
+        tile = fields[0].tile
+        for f in fields:
+            if f.tile is not tile and f.tile != tile:
+                raise CommunicationError(
+                    "all fields in one exchange must share a tile")
+            if depth > f.halo:
+                raise CommunicationError(
+                    f"exchange depth {depth} exceeds field halo {f.halo}")
+        nbytes = 0
+        for f in fields:
+            nbytes += self._exchange_x(f, depth)
+        for f in fields:
+            nbytes += self._exchange_y(f, depth)
+        if self.events is not None:
+            self.events.record("halo_exchange", depth, bytes=nbytes)
+
+    # -- split-phase (overlap) API --------------------------------------------
+
+    def begin_exchange(self, fields: Field | list[Field],
+                       depth: int = 1) -> dict:
+        """Post the x-phase of an exchange and return a pending handle.
+
+        The caller may compute on the interior while neighbour data is in
+        flight, then call :meth:`end_exchange` — this is the hook for the
+        paper's §VII plan to overlap communications "with the application
+        of the preconditioner".  Only the x-phase overlaps: the y-phase
+        must see the received x-halos (corner propagation), so it runs in
+        :meth:`end_exchange`.
+        """
+        if isinstance(fields, Field):
+            fields = [fields]
+        pending = {"fields": fields, "depth": depth, "recvs": [], "bytes": 0}
+        for f in fields:
+            if depth > f.halo:
+                raise CommunicationError(
+                    f"exchange depth {depth} exceeds field halo {f.halo}")
+            t, h, a = f.tile, f.halo, f.data
+            rows = slice(h, h + t.ny)
+            if t.left is not None:
+                self.comm.send(np.ascontiguousarray(a[rows, h:h + depth]),
+                               dest=t.left, tag=_TAG_LEFT)
+                req = self.comm.irecv(source=t.left, tag=_TAG_RIGHT)
+                pending["recvs"].append((f, (rows, slice(h - depth, h)), req))
+            if t.right is not None:
+                self.comm.send(
+                    np.ascontiguousarray(a[rows, h + t.nx - depth:h + t.nx]),
+                    dest=t.right, tag=_TAG_RIGHT)
+                req = self.comm.irecv(source=t.right, tag=_TAG_LEFT)
+                pending["recvs"].append(
+                    (f, (rows, slice(h + t.nx, h + t.nx + depth)), req))
+        return pending
+
+    def end_exchange(self, pending: dict) -> None:
+        """Complete a :meth:`begin_exchange`: wait x, then run the y-phase."""
+        depth = pending["depth"]
+        nbytes = 0
+        for f, region, req in pending["recvs"]:
+            got = req.wait()
+            f.data[region] = got
+            nbytes += got.nbytes * 2
+        for f in pending["fields"]:
+            nbytes += self._exchange_y(f, depth)
+        if self.events is not None:
+            self.events.record("halo_exchange", depth, bytes=nbytes)
+
+    # -- phases --------------------------------------------------------------
+
+    def _exchange_x(self, f: Field, d: int) -> int:
+        t, h, a = f.tile, f.halo, f.data
+        rows = slice(h, h + t.ny)
+        nbytes = 0
+        # Post all sends first (non-blocking deposit), then blocking recvs.
+        if t.left is not None:
+            self.comm.send(np.ascontiguousarray(a[rows, h:h + d]),
+                           dest=t.left, tag=_TAG_LEFT)
+        if t.right is not None:
+            self.comm.send(np.ascontiguousarray(a[rows, h + t.nx - d:h + t.nx]),
+                           dest=t.right, tag=_TAG_RIGHT)
+        if t.left is not None:
+            a[rows, h - d:h] = self.comm.recv(source=t.left, tag=_TAG_RIGHT)
+            nbytes += t.ny * d * 8 * 2  # send + recv payload
+        if t.right is not None:
+            a[rows, h + t.nx:h + t.nx + d] = self.comm.recv(
+                source=t.right, tag=_TAG_LEFT)
+            nbytes += t.ny * d * 8 * 2
+        return nbytes
+
+    def _exchange_y(self, f: Field, d: int) -> int:
+        t, h, a = f.tile, f.halo, f.data
+        # Include the x-halos so corners propagate.
+        cols = slice(h - d, h + t.nx + d)
+        width = t.nx + 2 * d
+        nbytes = 0
+        if t.down is not None:
+            self.comm.send(np.ascontiguousarray(a[h:h + d, cols]),
+                           dest=t.down, tag=_TAG_DOWN)
+        if t.up is not None:
+            self.comm.send(np.ascontiguousarray(a[h + t.ny - d:h + t.ny, cols]),
+                           dest=t.up, tag=_TAG_UP)
+        if t.down is not None:
+            a[h - d:h, cols] = self.comm.recv(source=t.down, tag=_TAG_UP)
+            nbytes += width * d * 8 * 2
+        if t.up is not None:
+            a[h + t.ny:h + t.ny + d, cols] = self.comm.recv(
+                source=t.up, tag=_TAG_DOWN)
+            nbytes += width * d * 8 * 2
+        return nbytes
+
+
+def reflect_boundaries(f: Field, depth: int | None = None) -> None:
+    """Mirror interior cells into halos on *physical* boundaries.
+
+    TeaLeaf's ``update_halo`` applies reflective (zero-gradient) boundary
+    conditions this way.  The linear solvers do not need it — boundary face
+    coefficients are zero so ghost values never contribute — but the physics
+    driver and visualisation use it to keep ghost data meaningful.
+    """
+    t, h, a = f.tile, f.halo, f.data
+    d = f.halo if depth is None else depth
+    if d > h:
+        raise CommunicationError(f"reflect depth {d} exceeds halo {h}")
+    rows = slice(h, h + t.ny)
+    if t.left is None:
+        a[rows, h - d:h] = a[rows, h:h + d][:, ::-1]
+    if t.right is None:
+        a[rows, h + t.nx:h + t.nx + d] = a[rows, h + t.nx - d:h + t.nx][:, ::-1]
+    cols = slice(h - d, h + t.nx + d)
+    if t.down is None:
+        a[h - d:h, cols] = a[h:h + d, cols][::-1, :]
+    if t.up is None:
+        a[h + t.ny:h + t.ny + d, cols] = a[h + t.ny - d:h + t.ny, cols][::-1, :]

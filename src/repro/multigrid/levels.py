@@ -1,0 +1,86 @@
+"""Multigrid levels: coefficient coarsening and the per-level operator.
+
+Levels store *global* face-coefficient arrays in the same convention as
+:func:`repro.physics.conduction.face_coefficients` (``kx``: ``(ny, nx+1)``,
+``ky``: ``(ny+1, nx)``, boundary faces zero).  Coarsening is Galerkin with
+piecewise-constant interpolation, which for this 5-point FV operator reduces
+to summing the two fine faces crossing each coarse face and dividing by 4 —
+the coarse operator is again ``I + D`` in the same normalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class Level:
+    """One multigrid level's operator data."""
+
+    kx: np.ndarray  # (ny, nx+1)
+    ky: np.ndarray  # (ny+1, nx)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.kx.shape[0], self.kx.shape[1] - 1)
+
+    @property
+    def n_cells(self) -> int:
+        ny, nx = self.shape
+        return ny * nx
+
+    def diagonal(self) -> np.ndarray:
+        return (1.0 + self.kx[:, :-1] + self.kx[:, 1:]
+                + self.ky[:-1, :] + self.ky[1:, :])
+
+
+def level_matvec(level: Level, u: np.ndarray, out: np.ndarray | None = None
+                 ) -> np.ndarray:
+    """``out = A u`` on a level (global arrays, zero boundary faces)."""
+    kx, ky = level.kx, level.ky
+    if out is None:
+        out = np.empty_like(u)
+    np.multiply(level.diagonal(), u, out=out)
+    out[:, 1:] -= kx[:, 1:-1] * u[:, :-1]
+    out[:, :-1] -= kx[:, 1:-1] * u[:, 1:]
+    out[1:, :] -= ky[1:-1, :] * u[:-1, :]
+    out[:-1, :] -= ky[1:-1, :] * u[1:, :]
+    return out
+
+
+def coarsen_level(level: Level) -> Level:
+    """Galerkin-coarsen a level (both dimensions must be even)."""
+    ny, nx = level.shape
+    if ny % 2 or nx % 2:
+        raise ConfigurationError(
+            f"cannot coarsen odd-sized level {ny}x{nx}")
+    kx, ky = level.kx, level.ky
+    # Coarse x-face (K, J) aggregates fine faces (2K, 2J) and (2K+1, 2J).
+    kxc = 0.25 * (kx[0::2, 0::2] + kx[1::2, 0::2])
+    kyc = 0.25 * (ky[0::2, 0::2] + ky[0::2, 1::2])
+    return Level(kx=kxc, ky=kyc)
+
+
+def build_hierarchy(kx: np.ndarray, ky: np.ndarray,
+                    min_size: int = 4, max_levels: int = 32) -> list[Level]:
+    """Build the level list, finest first.
+
+    Coarsening stops when either dimension becomes odd or drops below
+    ``min_size`` — the coarsest level is then solved directly.
+    """
+    ny, nxp1 = kx.shape
+    if ky.shape != (ny + 1, nxp1 - 1):
+        raise ConfigurationError(
+            f"inconsistent face array shapes {kx.shape} / {ky.shape}")
+    levels = [Level(kx=np.asarray(kx, dtype=np.float64),
+                    ky=np.asarray(ky, dtype=np.float64))]
+    while len(levels) < max_levels:
+        ny, nx = levels[-1].shape
+        if ny % 2 or nx % 2 or min(ny, nx) // 2 < min_size:
+            break
+        levels.append(coarsen_level(levels[-1]))
+    return levels

@@ -1,0 +1,115 @@
+"""The V-cycle.
+
+Setup builds the level hierarchy once (including the sparse factorisation of
+the coarsest operator); each cycle then performs pre-smoothing, restriction,
+recursion, prolongation and post-smoothing.  Setup cost vs per-cycle cost is
+tracked because the paper calls out AMG's "high set up costs" as part of why
+it loses at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.multigrid.levels import Level, build_hierarchy, level_matvec
+from repro.multigrid.smoothers import chebyshev_smooth, jacobi_smooth
+from repro.multigrid.transfer import prolong_constant, restrict_full_weighting
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+def _assemble_level(level: Level) -> sp.csr_matrix:
+    """Explicit sparse matrix of a level (coarse solve only)."""
+    ny, nx = level.shape
+    n = ny * nx
+    diag = level.diagonal().ravel()
+    A = sp.lil_matrix((n, n))
+    A.setdiag(diag)
+    kx, ky = level.kx, level.ky
+    for k in range(ny):
+        for j in range(nx):
+            row = k * nx + j
+            if j > 0 and kx[k, j]:
+                A[row, row - 1] = -kx[k, j]
+            if j < nx - 1 and kx[k, j + 1]:
+                A[row, row + 1] = -kx[k, j + 1]
+            if k > 0 and ky[k, j]:
+                A[row, row - nx] = -ky[k, j]
+            if k < ny - 1 and ky[k + 1, j]:
+                A[row, row + nx] = -ky[k + 1, j]
+    return A.tocsr()
+
+
+@dataclass
+class MultigridHierarchy:
+    """Built hierarchy plus smoothing configuration."""
+
+    levels: list[Level]
+    pre_sweeps: int = 2
+    post_sweeps: int = 2
+    omega: float = 0.8
+    smoother: str = "jacobi"   # "jacobi" | "chebyshev" (paper §VIII)
+
+    def __post_init__(self):
+        if not self.levels:
+            raise ConfigurationError("hierarchy needs at least one level")
+        check_positive("pre_sweeps", self.pre_sweeps)
+        check_positive("post_sweeps", self.post_sweeps)
+        if self.smoother not in ("jacobi", "chebyshev"):
+            raise ConfigurationError(
+                f"unknown smoother {self.smoother!r}; "
+                "expected jacobi|chebyshev")
+        self._coarse_lu = spla.splu(
+            _assemble_level(self.levels[-1]).tocsc())
+
+    @classmethod
+    def build(cls, kx: np.ndarray, ky: np.ndarray,
+              pre_sweeps: int = 2, post_sweeps: int = 2,
+              omega: float = 0.8, min_size: int = 4,
+              smoother: str = "jacobi") -> "MultigridHierarchy":
+        return cls(levels=build_hierarchy(kx, ky, min_size=min_size),
+                   pre_sweeps=pre_sweeps, post_sweeps=post_sweeps,
+                   omega=omega, smoother=smoother)
+
+    def _smooth(self, level: Level, x: np.ndarray, b: np.ndarray,
+                sweeps: int) -> None:
+        if self.smoother == "chebyshev":
+            chebyshev_smooth(level, x, b, sweeps=sweeps)
+        else:
+            jacobi_smooth(level, x, b, sweeps=sweeps, omega=self.omega)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def coarse_solve(self, b: np.ndarray) -> np.ndarray:
+        shape = self.levels[-1].shape
+        return self._coarse_lu.solve(b.ravel()).reshape(shape)
+
+    def cycle(self, b: np.ndarray, x: np.ndarray | None = None) -> np.ndarray:
+        """One V-cycle for ``A x = b`` on the finest level."""
+        if x is None:
+            x = np.zeros_like(b)
+        return self._cycle(0, x, b)
+
+    def _cycle(self, li: int, x: np.ndarray, b: np.ndarray) -> np.ndarray:
+        level = self.levels[li]
+        if li == self.n_levels - 1:
+            return self.coarse_solve(b)
+        self._smooth(level, x, b, self.pre_sweeps)
+        residual = b - level_matvec(level, x)
+        coarse_b = restrict_full_weighting(residual)
+        coarse_x = self._cycle(li + 1, np.zeros_like(coarse_b), coarse_b)
+        x += prolong_constant(coarse_x)
+        self._smooth(level, x, b, self.post_sweeps)
+        return x
+
+
+def v_cycle(hierarchy: MultigridHierarchy, b: np.ndarray,
+            x: np.ndarray | None = None) -> np.ndarray:
+    """Functional wrapper around :meth:`MultigridHierarchy.cycle`."""
+    return hierarchy.cycle(b, x)

@@ -1,0 +1,33 @@
+"""Strong-scaling efficiency metrics (paper Fig. 8)."""
+
+from __future__ import annotations
+
+from repro.perfmodel.predict import PredictedTime
+from repro.utils.errors import ConfigurationError
+
+
+def scaling_efficiency(node_counts: list[int], times: list[float]) -> list[float]:
+    """Efficiency relative to the smallest node count.
+
+    ``eff(P) = (t_0 * P_0) / (t_P * P)``; 1.0 is perfect strong scaling and
+    values above 1.0 are super-linear (Spruce's cache effect in Fig. 8).
+    """
+    if len(node_counts) != len(times) or not node_counts:
+        raise ConfigurationError("node_counts and times must align (non-empty)")
+    if any(t <= 0 for t in times) or any(p <= 0 for p in node_counts):
+        raise ConfigurationError("node counts and times must be positive")
+    base = times[0] * node_counts[0]
+    return [base / (t * p) for p, t in zip(node_counts, times)]
+
+
+def best_time(series: dict[str, list[PredictedTime]]) -> dict[str, PredictedTime]:
+    """Fastest point per labelled line (used to pick Fig. 8's best configs)."""
+    return {label: min(points, key=lambda p: p.seconds)
+            for label, points in series.items() if points}
+
+
+def speedup(times: list[float]) -> list[float]:
+    """Speedup relative to the first entry."""
+    if not times or times[0] <= 0:
+        raise ConfigurationError("need a positive baseline time")
+    return [times[0] / t for t in times]

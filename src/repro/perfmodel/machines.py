@@ -1,0 +1,160 @@
+"""Machine registry: the paper's Table I systems, as model parameters.
+
++----------------+----------------+------------------+------------------+
+|                | Spruce         | Piz Daint        | Titan            |
++================+================+==================+==================+
+| Compute device | E5-2680v2 (x2) | NVIDIA K20x      | NVIDIA K20x      |
+| Interconnect   | SGI ICE-X      | Cray Aries       | Cray Gemini      |
+| Max nodes used | 1024           | 2048             | 8192             |
++----------------+----------------+------------------+------------------+
+
+Node-level constants come from public hardware characteristics (K20x
+~180 GB/s effective STREAM, ~7.5 us kernel launch; dual E5-2680v2
+~85 GB/s STREAM, 2x25 MB LLC); network constants are representative of the
+published MPI microbenchmarks for each interconnect generation.  A single
+per-machine ``time_scale`` calibrates absolute seconds to the paper's
+anchor points (see EXPERIMENTS.md) without affecting any shape claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.perfmodel.network import LinkModel, NetworkModel, Topology
+from repro.utils.validation import check_positive
+
+MB = 1024 * 1024
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """Per-node compute model (memory-bandwidth bound kernels).
+
+    ``kernel_time = launch_overhead + bytes / effective_bandwidth`` where the
+    effective bandwidth switches from DRAM to last-level-cache speed when the
+    resident working set fits in cache (``cache_size > 0``) — the mechanism
+    behind Spruce's super-linear strong scaling (Fig. 8).
+    """
+
+    name: str
+    dram_bandwidth: float            # bytes/s, whole node (shared by ranks)
+    launch_overhead: float           # s per kernel (GPU launch / OMP region)
+    cache_size: float = 0.0          # bytes of LLC participating (0: no model)
+    cache_bandwidth: float = 0.0     # bytes/s when resident in LLC
+    is_gpu: bool = False
+    #: per-kernel overhead of a flat-MPI rank (plain loops, no fork/join)
+    flat_overhead: float = 0.3e-6
+    #: fixed cost per halo-exchange event: device<->host staging + MPI stack
+    #: entry.  Dominant for K20x-era GPUs (no GPUDirect in these runs) and
+    #: the reason deeper matrix-powers halos keep paying off on GPUs while
+    #: CPUs plateau at depth ~8 (paper §VI).
+    exchange_staging: float = 0.0
+
+    def __post_init__(self):
+        check_positive("dram_bandwidth", self.dram_bandwidth)
+        check_positive("launch_overhead", self.launch_overhead)
+
+    def effective_bandwidth(self, working_set: float) -> float:
+        """Bandwidth given the per-node resident working set in bytes."""
+        if self.cache_size <= 0 or working_set >= self.cache_size:
+            return self.dram_bandwidth
+        # Smooth ramp: fully cache-resident sets get full LLC bandwidth.
+        frac = working_set / self.cache_size
+        return self.cache_bandwidth * (1 - frac) + self.dram_bandwidth * frac
+
+    def kernel_time(self, nbytes: float, working_set: float) -> float:
+        return self.launch_overhead + nbytes / self.effective_bandwidth(working_set)
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A complete system model."""
+
+    name: str
+    node: NodeModel
+    network: NetworkModel
+    max_nodes: int
+    default_ranks_per_node: int = 1
+    cores_per_node: int = 16
+    #: Calibration multiplier mapping model seconds to paper seconds.
+    time_scale: float = 1.0
+
+    def with_time_scale(self, scale: float) -> "Machine":
+        return replace(self, time_scale=scale)
+
+
+# -- the paper's systems -------------------------------------------------------
+
+TITAN = Machine(
+    name="Titan",
+    node=NodeModel(
+        name="NVIDIA K20x",
+        dram_bandwidth=140 * GB,     # effective device STREAM
+        launch_overhead=7.5e-6,      # CUDA kernel launch
+        is_gpu=True,
+        exchange_staging=30e-6,      # D2H + H2D staging per exchange
+    ),
+    network=NetworkModel(
+        inter_node=LinkModel(latency=1.6e-6, bandwidth=4.5 * GB),
+        intra_node=LinkModel(latency=0.6e-6, bandwidth=8.0 * GB),
+        topology=Topology.TORUS_3D,
+        hop_latency=140e-9,          # Gemini per-hop
+        allreduce_stage_factor=1.3,
+    ),
+    max_nodes=8192,
+    default_ranks_per_node=1,        # one MPI rank per GPU node
+    cores_per_node=16,
+    # Calibrated on the paper's anchor: PPCG-16 = 4.26 s at 8192 nodes.
+    time_scale=1.26,
+)
+
+PIZ_DAINT = Machine(
+    name="Piz Daint",
+    node=NodeModel(
+        name="NVIDIA K20x",
+        dram_bandwidth=140 * GB,
+        launch_overhead=7.0e-6,      # newer driver stack, slightly lower
+        is_gpu=True,
+        exchange_staging=25e-6,      # slightly faster host path than Titan
+    ),
+    network=NetworkModel(
+        inter_node=LinkModel(latency=1.1e-6, bandwidth=9.0 * GB),
+        intra_node=LinkModel(latency=0.5e-6, bandwidth=10.0 * GB),
+        topology=Topology.DRAGONFLY,
+        hop_latency=100e-9,          # Aries adaptive routing
+        allreduce_stage_factor=1.0,
+    ),
+    max_nodes=2048,
+    default_ranks_per_node=1,
+    cores_per_node=8,
+    # Calibrated on the paper's anchor: PPCG-16 = 2.79 s at 2048 nodes.
+    time_scale=1.07,
+)
+
+SPRUCE = Machine(
+    name="Spruce",
+    node=NodeModel(
+        name="2x E5-2680v2",
+        dram_bandwidth=85 * GB,      # dual-socket STREAM
+        launch_overhead=2.0e-6,      # OpenMP parallel-region entry
+        cache_size=50 * MB,          # 2 x 25 MB LLC
+        cache_bandwidth=400 * GB,
+        is_gpu=False,
+    ),
+    network=NetworkModel(
+        inter_node=LinkModel(latency=1.2e-6, bandwidth=6.0 * GB),
+        intra_node=LinkModel(latency=0.3e-6, bandwidth=20.0 * GB),
+        topology=Topology.FAT_TREE,
+        hop_latency=120e-9,
+        allreduce_stage_factor=1.0,
+    ),
+    max_nodes=1024,
+    default_ranks_per_node=2,        # hybrid: one rank per NUMA domain
+    cores_per_node=20,
+)
+
+#: All paper machines by name.
+MACHINES: dict[str, Machine] = {
+    m.name: m for m in (TITAN, PIZ_DAINT, SPRUCE)
+}

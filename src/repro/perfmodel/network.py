@@ -1,0 +1,119 @@
+"""Interconnect models: Hockney links, topology hops, tree allreduce.
+
+A point-to-point message costs ``alpha_eff(P) + nbytes / bandwidth`` where
+the effective latency includes an average hop count that depends on the
+topology — this is what separates Titan's Gemini 3D torus (hops grow like
+``P^(1/3)``) from Piz Daint's Aries dragonfly (hop count nearly constant),
+the paper's explanation for the 47% gap at 2048 nodes (Fig. 5 vs Fig. 6).
+
+An allreduce is modelled as a binomial reduce+broadcast tree:
+``2 * ceil(log2 P)`` sequential stages, each paying one small-message
+latency.  "An optimal implementation of these reductions will ensure that
+the latency overhead scales logarithmically with the number of nodes"
+(§III-A) — this term is the scaling bottleneck CPPCG attacks.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive, require
+
+
+class Topology(str, enum.Enum):
+    """Interconnect topology class, deciding how hop counts grow with P."""
+
+    TORUS_3D = "torus3d"      # Cray Gemini (Titan)
+    DRAGONFLY = "dragonfly"   # Cray Aries (Piz Daint)
+    FAT_TREE = "fat_tree"     # SGI ICE-X (Spruce)
+
+    def average_hops(self, nodes: int) -> float:
+        """Expected router hops between two random nodes."""
+        if nodes <= 1:
+            return 0.0
+        if self is Topology.TORUS_3D:
+            # Mean Manhattan distance on a P^(1/3)-ary 3-cube.
+            return 0.75 * nodes ** (1.0 / 3.0)
+        if self is Topology.DRAGONFLY:
+            # Minimal-route dragonfly: local-global-local, ~constant.
+            return 3.0
+        # Folded Clos / fat tree: up-down through ~log levels.
+        return max(1.0, math.log2(nodes))
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """One Hockney alpha-beta link."""
+
+    latency: float      # seconds (alpha)
+    bandwidth: float    # bytes/second (1/beta)
+
+    def __post_init__(self):
+        check_positive("latency", self.latency)
+        check_positive("bandwidth", self.bandwidth)
+
+    def time(self, nbytes: float) -> float:
+        require(nbytes >= 0, f"negative message size {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A machine's interconnect.
+
+    Parameters
+    ----------
+    inter_node:
+        Base link between two adjacent nodes (per-hop latency added on top).
+    intra_node:
+        Link between two ranks on the same node (shared memory).
+    topology:
+        Governs hop growth with node count.
+    hop_latency:
+        Extra latency per router hop.
+    allreduce_stage_factor:
+        Multiplier on the per-stage latency of the reduction tree
+        (captures software/NIC overhead of collective stages).
+    """
+
+    inter_node: LinkModel
+    intra_node: LinkModel
+    topology: Topology
+    hop_latency: float = 100e-9
+    allreduce_stage_factor: float = 1.0
+
+    def effective_latency(self, nodes: int) -> float:
+        """Point-to-point latency between random nodes at machine scale."""
+        return (self.inter_node.latency
+                + self.hop_latency * self.topology.average_hops(nodes))
+
+    def p2p_time(self, nbytes: float, nodes: int, intra: bool = False) -> float:
+        """One message between neighbouring ranks.
+
+        Halo neighbours are topologically close, so they pay the base link
+        plus a small constant number of hops rather than the machine-scale
+        average.
+        """
+        if intra:
+            return self.intra_node.time(nbytes)
+        near_hops = min(2.0, self.topology.average_hops(nodes))
+        return (self.inter_node.time(nbytes) + self.hop_latency * near_hops)
+
+    def allreduce_time(self, ranks: int, nodes: int, nbytes: float = 8.0) -> float:
+        """Binomial-tree reduce + broadcast over ``ranks`` endpoints.
+
+        Tree stages that cross nodes pay machine-scale latency (the
+        reduction spans the whole system); intra-node stages are cheap.
+        """
+        if ranks <= 1:
+            return 0.0
+        stages = math.ceil(math.log2(ranks))
+        node_stages = math.ceil(math.log2(max(nodes, 1))) if nodes > 1 else 0
+        local_stages = max(0, stages - node_stages)
+        per_inter = (self.effective_latency(nodes)
+                     + nbytes / self.inter_node.bandwidth)
+        per_intra = self.intra_node.time(nbytes)
+        return (2.0 * self.allreduce_stage_factor
+                * (node_stages * per_inter + local_stages * per_intra))

@@ -1,0 +1,288 @@
+"""Time-to-solution prediction for a configuration at scale.
+
+The predictor combines
+
+- the **actual decomposition geometry** (via :func:`repro.mesh.decompose`)
+  of the target mesh over ``nodes x ranks_per_node`` ranks — message sizes,
+  neighbour counts and intra/inter-node classification come from the same
+  code the solvers run on, not from approximations;
+- the configuration's **iteration profile** (allreduce/halo/kernel shape
+  per outer iteration, validated against instrumented solves); and
+- the machine's **network and node models**.
+
+The MG-CG baseline additionally charges every V-cycle for its level
+traversal: per-level smoothing kernels and halo exchanges whose message
+sizes shrink with the level but whose *latencies do not* — plus the
+coarse-grid gather/solve/broadcast and the one-time hierarchy setup.
+This is the mechanism behind the paper's observation that AMG-type
+solvers "struggle to perform well when strong scaling up into the
+Petascale regime" while being fastest at low node counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.mesh.decomposition import Tile, decompose
+from repro.mesh.grid import Grid2D
+from repro.perfmodel.machines import Machine
+from repro.perfmodel.profiles import (
+    IterationProfile,
+    MG_SMOOTH_BPC,
+    MG_SMOOTH_KERNELS,
+    MG_SMOOTH_SWEEPS,
+    MG_TRANSFER_BPC,
+    MG_TRANSFER_KERNELS,
+    SolverConfig,
+    build_profile,
+    warmup_profile,
+)
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+#: Persistent arrays per cell (u, b, r, p, w, z, kx, ky, density, ...) used
+#: for the cache-residency working set.
+RESIDENT_ARRAYS = 10
+#: Per-phase factor for a halo exchange (post sends, wait both sides).
+HALO_PHASE_FACTOR = 2.0
+#: Coarsest MG level size (global cells per side).
+MG_COARSE_SIDE = 8
+#: MG setup cost, in equivalent V-cycles (hierarchy + comms setup).
+MG_SETUP_CYCLES = 25.0
+
+
+@dataclass(frozen=True)
+class PredictedTime:
+    """A single predicted point (one node count of one figure line)."""
+
+    machine: str
+    config: SolverConfig
+    mesh_n: int
+    nodes: int
+    ranks: int
+    seconds: float
+    breakdown: dict
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return (f"{self.machine} {self.config.label} N={self.mesh_n} "
+                f"nodes={self.nodes}: {self.seconds:.3f}s")
+
+
+def _representative_tile(grid: Grid2D, ranks: int) -> Tile:
+    """An interior (max-neighbour, max-size) tile: the critical-path rank."""
+    tiles = decompose(grid, ranks)
+    px, py = tiles[0].px, tiles[0].py
+    cx, cy = min(px // 2, px - 1), min(py // 2, py - 1)
+    return tiles[cy * px + cx]
+
+
+def _ext_cells(tile: Tile, ext: int) -> int:
+    """Cells computed at loop-bounds extension ``ext`` (clipped at domain)."""
+    e = tile.extension(ext)
+    return ((tile.ny + e["up"] + e["down"])
+            * (tile.nx + e["left"] + e["right"]))
+
+
+def _neighbor_intra(tile: Tile, ranks_per_node: int) -> dict[str, bool]:
+    """Whether each neighbour rank lives on the same node (rank//rpn)."""
+    node = tile.rank // ranks_per_node
+    out = {}
+    for side, nbr in tile.neighbors.items():
+        out[side] = (nbr is not None) and (nbr // ranks_per_node == node)
+    return out
+
+
+class _Coster:
+    """Shared cost helpers bound to one (machine, decomposition) context."""
+
+    def __init__(self, machine: Machine, tile: Tile, nodes: int,
+                 ranks: int, ranks_per_node: int):
+        self.m = machine
+        self.tile = tile
+        self.nodes = nodes
+        self.ranks = ranks
+        self.rpn = ranks_per_node
+        self.intra = _neighbor_intra(tile, ranks_per_node)
+        self.working_set = RESIDENT_ARRAYS * tile.n_cells * 8.0 * ranks_per_node
+        # All ranks on a node stream concurrently through the same memory
+        # system, so each sees 1/rpn of the node bandwidth.  Flat-MPI ranks
+        # run plain loops (no OpenMP fork/join or kernel launch per stage).
+        node = machine.node
+        self._bw = node.effective_bandwidth(self.working_set) / ranks_per_node
+        flat = (not node.is_gpu) and ranks_per_node > machine.default_ranks_per_node
+        self._overhead = node.flat_overhead if flat else node.launch_overhead
+
+    def kernel(self, cells: float, bytes_per_cell: float, kernels: int) -> float:
+        return kernels * self._overhead + cells * bytes_per_cell / self._bw
+
+    def halo(self, depth: int, fields: int,
+             nx: int | None = None, ny: int | None = None) -> float:
+        """One two-phase exchange of ``fields`` arrays at ``depth``."""
+        net = self.m.network
+        t = self.tile
+        nx = t.nx if nx is None else nx
+        ny = t.ny if ny is None else ny
+        # Fixed per-exchange cost (GPU host staging; zero on CPUs).
+        total = self.m.node.exchange_staging
+        # x-phase: columns of ny*depth cells per field.
+        bx = ny * depth * 8.0 * fields
+        x_sides = [s for s in ("left", "right") if t.neighbors[s] is not None]
+        if x_sides:
+            per = max(net.p2p_time(bx, self.nodes, intra=self.intra[s])
+                      for s in x_sides)
+            total += HALO_PHASE_FACTOR * per
+        # y-phase: rows of (nx + 2*depth)*depth cells per field.
+        by = (nx + 2 * depth) * depth * 8.0 * fields
+        y_sides = [s for s in ("down", "up") if t.neighbors[s] is not None]
+        if y_sides:
+            per = max(net.p2p_time(by, self.nodes, intra=self.intra[s])
+                      for s in y_sides)
+            total += HALO_PHASE_FACTOR * per
+        return total
+
+    def allreduce(self, count: float) -> float:
+        return count * self.m.network.allreduce_time(self.ranks, self.nodes)
+
+    def iteration(self, profile: IterationProfile) -> dict:
+        """Cost one outer iteration, split by category."""
+        compute = 0.0
+        for st in profile.stages:
+            compute += self.kernel(_ext_cells(self.tile, st.ext),
+                                   st.bytes_per_cell, st.kernels)
+        halo = sum(h.count * self.halo(h.depth, h.fields)
+                   for h in profile.halos)
+        reduce_t = self.allreduce(profile.allreduces)
+        return {"compute": compute, "halo": halo, "allreduce": reduce_t}
+
+
+def _mg_levels(mesh_n: int) -> int:
+    """Global V-cycle depth down to ~``MG_COARSE_SIDE``-wide coarse grid."""
+    return max(1, int(math.log2(max(mesh_n / MG_COARSE_SIDE, 2))))
+
+
+#: Per-level growth of the AMG communication stencil: operator complexity
+#: rises on coarse levels (Galerkin products widen the stencil), so each
+#: successive level talks to ~this factor more neighbours.
+MG_NEIGHBOR_GROWTH = 2.0
+#: Nearest-neighbour message count on the finest level.
+MG_BASE_NEIGHBORS = 4.0
+
+
+def _mg_cycle_cost(c: _Coster, mesh_n: int) -> dict:
+    """One V-cycle: per-level smoothing/transfers + coarse gather-solve.
+
+    Coarse levels keep their latency cost while their compute shrinks —
+    and their *message counts grow* (AMG operator complexity): this is why
+    the baseline's strong scaling collapses past a few tens of nodes
+    (paper Fig. 7 / §VIII "the set up cost for the nested operators is
+    expensive", "stress the interconnect significantly").
+    """
+    levels = _mg_levels(mesh_n)
+    compute = halo = 0.0
+    t = c.tile
+    net = c.m.network
+    for li in range(levels):
+        f = 2 ** li
+        lnx = max(1, t.nx // f)
+        lny = max(1, t.ny // f)
+        cells = lnx * lny
+        compute += c.kernel(
+            cells, MG_SMOOTH_BPC, MG_SMOOTH_KERNELS) * MG_SMOOTH_SWEEPS
+        compute += c.kernel(cells, MG_TRANSFER_BPC, MG_TRANSFER_KERNELS)
+        # Messages per exchange grow with level depth (wider coarse
+        # stencils), capped by the number of peers that exist.
+        msgs = min(float(c.ranks - 1),
+                   MG_BASE_NEIGHBORS * MG_NEIGHBOR_GROWTH ** li)
+        if msgs > 0:
+            per_msg = net.p2p_time(lny * 8.0, c.nodes, intra=False)
+            halo += (MG_SMOOTH_SWEEPS + 1) * msgs * per_msg
+    # Coarse grid: gather -> direct solve -> broadcast (serial bottleneck).
+    stages = math.ceil(math.log2(max(c.ranks, 2)))
+    coarse_cells = MG_COARSE_SIDE ** 2
+    coarse = (2.0 * stages * net.effective_latency(c.nodes)
+              + c.m.node.launch_overhead
+              + coarse_cells * 200.0 / c.m.node.dram_bandwidth)
+    return {"compute": compute, "halo": halo, "coarse": coarse}
+
+
+def predict_solve_time(
+    machine: Machine,
+    config: SolverConfig,
+    mesh_n: int,
+    nodes: int,
+    *,
+    outer_iters: float,
+    warmup_iters: float = 25.0,
+    n_steps: int = 1,
+    ranks_per_node: int | None = None,
+) -> PredictedTime:
+    """Predict wall-clock seconds for ``n_steps`` solves of the config.
+
+    ``outer_iters`` is the per-step outer iteration count (measured /
+    extrapolated by :mod:`repro.perfmodel.iterations`).
+    """
+    check_positive("mesh_n", mesh_n)
+    check_positive("nodes", nodes)
+    check_positive("outer_iters", outer_iters)
+    if nodes > machine.max_nodes:
+        raise ConfigurationError(
+            f"{machine.name} has at most {machine.max_nodes} nodes, "
+            f"asked for {nodes}")
+    rpn = ranks_per_node if ranks_per_node is not None \
+        else machine.default_ranks_per_node
+    ranks = nodes * rpn
+    grid = Grid2D(mesh_n, mesh_n)
+    if ranks > min(grid.nx, grid.ny) ** 2:
+        raise ConfigurationError(
+            f"{ranks} ranks exceed {mesh_n}x{mesh_n} cells")
+    tile = _representative_tile(grid, ranks)
+    c = _Coster(machine, tile, nodes, ranks, rpn)
+
+    profile = build_profile(config)
+    per_iter = c.iteration(profile)
+    breakdown = {k: v * outer_iters for k, v in per_iter.items()}
+    breakdown.setdefault("coarse", 0.0)
+    breakdown["setup"] = 0.0
+
+    if config.solver == "mgcg":
+        cyc = _mg_cycle_cost(c, mesh_n)
+        breakdown["compute"] += cyc["compute"] * outer_iters
+        breakdown["halo"] += cyc["halo"] * outer_iters
+        breakdown["coarse"] += cyc["coarse"] * outer_iters
+        breakdown["setup"] += MG_SETUP_CYCLES * (
+            cyc["compute"] + cyc["halo"] + cyc["coarse"])
+    elif config.solver == "ppcg":
+        warm = c.iteration(warmup_profile())
+        for k, v in warm.items():
+            breakdown[k] += v * warmup_iters
+
+    per_step = sum(breakdown.values())
+    seconds = per_step * n_steps * machine.time_scale
+    breakdown = {k: v * n_steps * machine.time_scale
+                 for k, v in breakdown.items()}
+    return PredictedTime(machine=machine.name, config=config, mesh_n=mesh_n,
+                         nodes=nodes, ranks=ranks, seconds=seconds,
+                         breakdown=breakdown)
+
+
+def predict_scaling(
+    machine: Machine,
+    config: SolverConfig,
+    mesh_n: int,
+    node_counts: list[int],
+    *,
+    outer_iters: float,
+    warmup_iters: float = 25.0,
+    n_steps: int = 1,
+    ranks_per_node: int | None = None,
+) -> list[PredictedTime]:
+    """One figure line: predictions across ``node_counts``."""
+    return [
+        predict_solve_time(machine, config, mesh_n, nodes,
+                           outer_iters=outer_iters,
+                           warmup_iters=warmup_iters,
+                           n_steps=n_steps,
+                           ranks_per_node=ranks_per_node)
+        for nodes in node_counts
+    ]

@@ -1,0 +1,194 @@
+"""Per-iteration communication/computation shapes of each solver config.
+
+A profile answers, for one *outer* iteration of a configuration: how many
+global reductions happen, which halo exchanges (depth, packed fields,
+count) occur, and which kernels run at which matrix-powers loop-bounds
+extension.  These shapes are derived from the algorithms — and the
+test-suite asserts they match the instrumented event logs of real
+decomposed solves, so the model can't silently drift from the code.
+
+Byte-per-cell constants count the streamed arrays of each kernel (8 B per
+read or write of a float64 cell value), which is the right currency for
+memory-bandwidth-bound solvers (§III-A: "local operations are vector
+triads ... local memory bandwidth limited").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_in, check_positive
+
+#: matvec: read p, kx, ky; write w.
+MATVEC_BPC = 32.0
+#: CG outer housekeeping: dots (p.w, r.r/r.z) + axpy x, r + p update.
+CG_VECTOR_BPC = 104.0
+CG_VECTOR_KERNELS = 5
+#: Chebyshev inner step housekeeping: z += d, r -= w, d recurrence.
+CHEBY_VECTOR_BPC = 80.0
+CHEBY_VECTOR_KERNELS = 3
+#: Extra cost of a local preconditioner application (z = M^-1 r).
+PRECOND_BPC = {"none": 0.0, "diagonal": 24.0, "block_jacobi": 72.0}
+PRECOND_KERNELS = {"none": 0, "diagonal": 1, "block_jacobi": 2}
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """A point in the paper's design space (one line of Figs. 5-7)."""
+
+    solver: str                     # cg | ppcg | mgcg
+    inner_steps: int = 10           # Chebyshev degree (ppcg)
+    halo_depth: int = 1             # matrix powers depth (ppcg)
+    preconditioner: str = "none"    # local/inner preconditioner
+
+    def __post_init__(self):
+        check_in("solver", self.solver, ("cg", "cg_fused", "dcg",
+                                         "ppcg", "mgcg"))
+        check_positive("inner_steps", self.inner_steps)
+        check_positive("halo_depth", self.halo_depth)
+        check_in("preconditioner", self.preconditioner,
+                 tuple(PRECOND_BPC))
+
+    @property
+    def label(self) -> str:
+        base = {"cg": "CG", "cg_fused": "CG-F", "dcg": "DCG",
+                "ppcg": "PPCG", "mgcg": "BoomerAMG*"}[self.solver]
+        if self.solver == "mgcg":
+            return base
+        return f"{base} - {self.halo_depth}"
+
+
+@dataclass(frozen=True)
+class HaloSpec:
+    """``count`` exchanges of ``fields`` packed arrays at ``depth``."""
+
+    depth: int
+    fields: int
+    count: float
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """A group of kernels running at loop-bounds extension ``ext``."""
+
+    ext: int
+    kernels: int
+    bytes_per_cell: float
+
+
+@dataclass(frozen=True)
+class IterationProfile:
+    """Costs of one outer iteration."""
+
+    allreduces: float
+    halos: tuple[HaloSpec, ...]
+    stages: tuple[StageSpec, ...]
+
+    @property
+    def matvecs(self) -> int:
+        """Stencil applications per outer iteration (any extension)."""
+        return sum(1 for s in self.stages
+                   if s.kernels == 1 and s.bytes_per_cell == MATVEC_BPC)
+
+    def halo_exchange_count(self) -> float:
+        return sum(h.count for h in self.halos)
+
+
+def _cg_iteration(preconditioner: str = "none") -> IterationProfile:
+    """CG: one matvec (depth-1 exchange), two fused reductions."""
+    bpc = CG_VECTOR_BPC + PRECOND_BPC[preconditioner]
+    kernels = CG_VECTOR_KERNELS + PRECOND_KERNELS[preconditioner]
+    return IterationProfile(
+        allreduces=2.0,
+        halos=(HaloSpec(depth=1, fields=1, count=1.0),),
+        stages=(
+            StageSpec(ext=0, kernels=1, bytes_per_cell=MATVEC_BPC),
+            StageSpec(ext=0, kernels=kernels, bytes_per_cell=bpc),
+        ),
+    )
+
+
+def _ppcg_iteration(inner_steps: int, halo_depth: int,
+                    preconditioner: str) -> IterationProfile:
+    """CPPCG outer iteration: CG outer shape + m Chebyshev inner steps.
+
+    Inner halo pattern (matches :class:`ChebyshevIteration` exactly):
+    the first block exchanges only the residual; each subsequent block
+    exchanges residual + direction at depth ``n`` (just the direction when
+    ``n == 1``).  Inner step ``s`` of a block runs at extension
+    ``n - 1 - s``.
+    """
+    m, n = inner_steps, halo_depth
+    blocks = math.ceil(m / n)
+    halos = [HaloSpec(depth=1, fields=1, count=1.0),       # outer matvec
+             HaloSpec(depth=n, fields=1, count=1.0)]       # first inner block
+    if blocks > 1:
+        halos.append(HaloSpec(depth=n, fields=(2 if n > 1 else 1),
+                              count=float(blocks - 1)))
+    stages = [
+        StageSpec(ext=0, kernels=1, bytes_per_cell=MATVEC_BPC),  # outer matvec
+        StageSpec(ext=0, kernels=CG_VECTOR_KERNELS,
+                  bytes_per_cell=CG_VECTOR_BPC),
+    ]
+    inner_bpc = (CHEBY_VECTOR_BPC + PRECOND_BPC[preconditioner])
+    inner_kernels = CHEBY_VECTOR_KERNELS + PRECOND_KERNELS[preconditioner]
+    for step in range(m):
+        ext = n - 1 - (step % n)
+        stages.append(StageSpec(ext=ext, kernels=1,
+                                bytes_per_cell=MATVEC_BPC))
+        stages.append(StageSpec(ext=ext, kernels=inner_kernels,
+                                bytes_per_cell=inner_bpc))
+    return IterationProfile(allreduces=2.0, halos=tuple(halos),
+                            stages=tuple(stages))
+
+
+#: MG-CG smoothing sweeps per level per V-cycle (pre + post, Jacobi).
+MG_SMOOTH_SWEEPS = 4
+#: Kernels / bytes-per-cell of one smoothing sweep (matvec + correction).
+MG_SMOOTH_KERNELS = 2
+MG_SMOOTH_BPC = 56.0
+#: Residual + restrict + prolong-correct work per level per cycle.
+MG_TRANSFER_KERNELS = 3
+MG_TRANSFER_BPC = 64.0
+
+
+def _mgcg_iteration(preconditioner: str = "none") -> IterationProfile:
+    """MG-CG outer shape; the V-cycle levels are costed by the predictor."""
+    return _cg_iteration(preconditioner)
+
+
+def _cg_fused_iteration(preconditioner: str = "none") -> IterationProfile:
+    """Chronopoulos-Gear CG: one reduction, one extra vector recurrence."""
+    base = _cg_iteration(preconditioner)
+    extra = StageSpec(ext=0, kernels=1, bytes_per_cell=24.0)  # s recurrence
+    return IterationProfile(allreduces=1.0, halos=base.halos,
+                            stages=base.stages + (extra,))
+
+
+def _dcg_iteration(preconditioner: str = "none") -> IterationProfile:
+    """Deflated CG: CG plus one projector (k-sized reduction + combine)."""
+    base = _cg_iteration(preconditioner)
+    project = StageSpec(ext=0, kernels=2, bytes_per_cell=32.0)
+    return IterationProfile(allreduces=base.allreduces + 1.0,
+                            halos=base.halos,
+                            stages=base.stages + (project,))
+
+
+def build_profile(config: SolverConfig) -> IterationProfile:
+    """The per-outer-iteration profile of a configuration."""
+    if config.solver == "cg":
+        return _cg_iteration(config.preconditioner)
+    if config.solver == "cg_fused":
+        return _cg_fused_iteration(config.preconditioner)
+    if config.solver == "dcg":
+        return _dcg_iteration(config.preconditioner)
+    if config.solver == "ppcg":
+        return _ppcg_iteration(config.inner_steps, config.halo_depth,
+                               config.preconditioner)
+    return _mgcg_iteration(config.preconditioner)
+
+
+def warmup_profile() -> IterationProfile:
+    """Eigenvalue-estimation warm-up iterations are plain CG."""
+    return _cg_iteration("none")

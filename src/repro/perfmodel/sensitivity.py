@@ -1,0 +1,129 @@
+"""Design-space sensitivity analysis over machine parameters.
+
+TeaLeaf exists "to enable design-space explorations"; beyond reproducing
+the paper's three machines, this module answers *what-if* questions about
+future systems: how does a configuration's time-to-solution move when the
+interconnect latency, link bandwidth, node memory bandwidth or kernel
+launch overhead is scaled?  Each knob is varied independently (one-at-a-
+time sensitivity), which cleanly attributes the strong-scaling limits —
+e.g. CPPCG-16 on Titan at 8192 nodes is launch-overhead dominated, while
+CG-1 is allreduce-latency dominated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.perfmodel.machines import Machine, NodeModel
+from repro.perfmodel.network import LinkModel, NetworkModel
+from repro.perfmodel.predict import PredictedTime, predict_solve_time
+from repro.perfmodel.profiles import SolverConfig
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+#: The tunable machine knobs, by name.
+KNOBS = (
+    "network_latency",      # inter-node alpha + hop latency
+    "network_bandwidth",    # inter-node link bandwidth
+    "node_bandwidth",       # DRAM (and cache) bandwidth
+    "launch_overhead",      # per-kernel cost
+)
+
+
+def scaled_machine(machine: Machine, knob: str, factor: float) -> Machine:
+    """A copy of ``machine`` with one knob scaled by ``factor``."""
+    check_positive("factor", factor)
+    if knob == "network_latency":
+        net = machine.network
+        new_net = replace(
+            net,
+            inter_node=LinkModel(latency=net.inter_node.latency * factor,
+                                 bandwidth=net.inter_node.bandwidth),
+            hop_latency=net.hop_latency * factor,
+        )
+        return replace(machine, network=new_net)
+    if knob == "network_bandwidth":
+        net = machine.network
+        new_net = replace(
+            net,
+            inter_node=LinkModel(latency=net.inter_node.latency,
+                                 bandwidth=net.inter_node.bandwidth * factor),
+        )
+        return replace(machine, network=new_net)
+    if knob == "node_bandwidth":
+        node = machine.node
+        new_node = replace(
+            node,
+            dram_bandwidth=node.dram_bandwidth * factor,
+            cache_bandwidth=node.cache_bandwidth * factor,
+        )
+        return replace(machine, node=new_node)
+    if knob == "launch_overhead":
+        node = machine.node
+        new_node = replace(node,
+                           launch_overhead=node.launch_overhead * factor,
+                           exchange_staging=node.exchange_staging * factor)
+        return replace(machine, node=new_node)
+    raise ConfigurationError(
+        f"unknown knob {knob!r}; expected one of {KNOBS}")
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    knob: str
+    factor: float
+    seconds: float
+
+
+def sweep_knob(
+    machine: Machine,
+    config: SolverConfig,
+    knob: str,
+    factors: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    *,
+    mesh_n: int = 4000,
+    nodes: int = 1024,
+    outer_iters: float = 1000.0,
+    n_steps: int = 1,
+    ranks_per_node: int | None = None,
+) -> list[SensitivityPoint]:
+    """Time-to-solution as one knob scales (factor 1.0 = the real machine)."""
+    out = []
+    for factor in factors:
+        m = scaled_machine(machine, knob, factor)
+        p = predict_solve_time(m, config, mesh_n, nodes,
+                               outer_iters=outer_iters, n_steps=n_steps,
+                               ranks_per_node=ranks_per_node)
+        out.append(SensitivityPoint(knob=knob, factor=factor,
+                                    seconds=p.seconds))
+    return out
+
+
+def sensitivities(
+    machine: Machine,
+    config: SolverConfig,
+    *,
+    mesh_n: int = 4000,
+    nodes: int = 1024,
+    outer_iters: float = 1000.0,
+    delta: float = 2.0,
+    ranks_per_node: int | None = None,
+) -> dict[str, float]:
+    """Relative slowdown per knob when it degrades by ``delta``x.
+
+    A value near ``1.0`` means the knob is irrelevant at this operating
+    point; the largest value identifies the binding constraint.
+    """
+    base = predict_solve_time(machine, config, mesh_n, nodes,
+                              outer_iters=outer_iters,
+                              ranks_per_node=ranks_per_node).seconds
+    out = {}
+    for knob in KNOBS:
+        worse = delta if knob in ("network_latency", "launch_overhead") \
+            else 1.0 / delta
+        m = scaled_machine(machine, knob, worse)
+        t = predict_solve_time(m, config, mesh_n, nodes,
+                               outer_iters=outer_iters,
+                               ranks_per_node=ranks_per_node).seconds
+        out[knob] = t / base
+    return out

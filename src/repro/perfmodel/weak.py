@@ -1,0 +1,66 @@
+"""Weak-scaling prediction — and why the paper avoided it.
+
+§VI: "Weak scaling performance would also be more difficult to
+characterize: the nature of the algorithm means that increasing the mesh
+size also increases the condition number, the number of iterations required
+to converge, and hence the time to solution."
+
+This module makes that argument quantitative: under weak scaling the mesh
+side grows like ``sqrt(P)``, iteration counts grow linearly in the mesh side
+(the sqrt(kappa) law), so even with perfect per-iteration scaling the time to
+solution grows like ``sqrt(P)`` — weak efficiency decays by construction, for
+CG and CPPCG alike (multigrid being the fix, which is the paper's closing
+motivation for its future work).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.perfmodel.iterations import IterationModel
+from repro.perfmodel.machines import Machine
+from repro.perfmodel.predict import PredictedTime, predict_solve_time
+from repro.perfmodel.profiles import SolverConfig
+from repro.utils.validation import check_positive
+
+
+def weak_mesh_side(local_side: int, nodes: int,
+                   ranks_per_node: int = 1) -> int:
+    """Global mesh side keeping ~``local_side^2`` cells per rank."""
+    check_positive("local_side", local_side)
+    ranks = nodes * ranks_per_node
+    return max(1, round(local_side * math.sqrt(ranks)))
+
+
+def predict_weak_scaling(
+    machine: Machine,
+    config: SolverConfig,
+    local_side: int,
+    node_counts: list[int],
+    iteration_model: IterationModel,
+    *,
+    n_steps: int = 1,
+    ranks_per_node: int | None = None,
+) -> list[PredictedTime]:
+    """Weak-scaling series: fixed work per rank, growing global problem.
+
+    The iteration count is re-evaluated at each point's global mesh size —
+    this coupling (not the communication) is what ruins weak scaling for
+    Krylov solvers on this operator.
+    """
+    rpn = ranks_per_node if ranks_per_node is not None \
+        else machine.default_ranks_per_node
+    out = []
+    for nodes in node_counts:
+        mesh_n = weak_mesh_side(local_side, nodes, rpn)
+        iters = iteration_model(mesh_n)
+        out.append(predict_solve_time(
+            machine, config, mesh_n, nodes,
+            outer_iters=iters, n_steps=n_steps, ranks_per_node=rpn))
+    return out
+
+
+def weak_efficiency(points: list[PredictedTime]) -> list[float]:
+    """``t_1 / t_P`` under weak scaling (1.0 = perfect)."""
+    base = points[0].seconds
+    return [base / p.seconds for p in points]

@@ -1,0 +1,61 @@
+"""TeaLeaf physics: heat-conduction state, coefficients, problems, decks.
+
+TeaLeaf advances the linear heat-conduction equation with an implicit time
+step: each step builds face conduction coefficients from the (static) density
+field and solves the SPD system ``A u_new = u_old`` with one of the iterative
+solvers in :mod:`repro.solvers`.
+"""
+
+from repro.physics.conduction import (
+    Conductivity,
+    cell_conductivity,
+    face_coefficients,
+    face_coefficients_3d,
+)
+from repro.physics.problems import (
+    RegionSpec,
+    ProblemSpec,
+    crooked_pipe,
+    uniform_problem,
+    hot_square,
+)
+from repro.physics.state import build_fields, global_initial_state
+from repro.physics.deck import Deck, parse_deck, parse_deck_text, deck_to_problem
+from repro.physics.simulation import Simulation, SimulationReport, run_simulation
+from repro.physics.simulation3d import (
+    BoxRegion3D,
+    Simulation3D,
+    crooked_duct_3d,
+    run_simulation_3d_distributed,
+)
+from repro.physics.state3d import build_coefficient_fields_3d, build_fields_3d
+from repro.physics.summary import FieldSummary, field_summary
+
+__all__ = [
+    "Conductivity",
+    "cell_conductivity",
+    "face_coefficients",
+    "face_coefficients_3d",
+    "RegionSpec",
+    "ProblemSpec",
+    "crooked_pipe",
+    "uniform_problem",
+    "hot_square",
+    "build_fields",
+    "global_initial_state",
+    "Deck",
+    "parse_deck",
+    "parse_deck_text",
+    "deck_to_problem",
+    "Simulation",
+    "SimulationReport",
+    "run_simulation",
+    "BoxRegion3D",
+    "Simulation3D",
+    "crooked_duct_3d",
+    "run_simulation_3d_distributed",
+    "build_coefficient_fields_3d",
+    "build_fields_3d",
+    "FieldSummary",
+    "field_summary",
+]

@@ -1,0 +1,111 @@
+"""Conduction coefficients for the implicit diffusion operator.
+
+Per the paper (§II): "A conduction coefficient is calculated that is equal to
+the cell centered density, which is then averaged to each face of the cell
+for use in the solution."  TeaLeaf supports two cell coefficients —
+``CONDUCTIVITY`` (kappa = rho) and ``RECIP_CONDUCTIVITY`` (kappa = 1/rho, used by the
+crooked-pipe benchmark so that the dense material conducts poorly) — and the
+face value is the harmonic-style mean of the two adjacent cells.
+
+The operator coefficients of Listing 1 are then ``Kx = rx * kappa_face`` with
+``rx = dt/dx^2`` (and ``ry = dt/dy^2``), and faces on the physical boundary are
+zeroed, which imposes insulated (zero-flux) boundaries and makes the system
+matrix ``A = I + D`` strictly diagonally dominant and SPD.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.utils.validation import check_in, check_positive
+
+
+class Conductivity(str, enum.Enum):
+    """Cell-centred conductivity model (TeaLeaf ``tl_coefficient``)."""
+
+    DENSITY = "conductivity"          # kappa = rho
+    RECIP_DENSITY = "recip_conductivity"  # kappa = 1/rho
+
+
+def cell_conductivity(density: np.ndarray,
+                      model: Conductivity | str = Conductivity.RECIP_DENSITY
+                      ) -> np.ndarray:
+    """Cell-centred conductivity ``kappa`` from density."""
+    model = Conductivity(model)
+    if np.any(density <= 0):
+        raise ValueError("density must be strictly positive everywhere")
+    if model is Conductivity.DENSITY:
+        return np.asarray(density, dtype=np.float64).copy()
+    return 1.0 / np.asarray(density, dtype=np.float64)
+
+
+def _face_mean(a: np.ndarray, b: np.ndarray, mean: str) -> np.ndarray:
+    """Average two adjacent-cell coefficient arrays onto their shared face."""
+    check_in("mean", mean, ("arithmetic", "harmonic"))
+    if mean == "arithmetic":
+        return 0.5 * (a + b)
+    return 2.0 * a * b / (a + b)
+
+
+def face_coefficients(
+    kappa: np.ndarray,
+    rx: float,
+    ry: float,
+    mean: str = "harmonic",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Face coefficient arrays ``(Kx, Ky)`` from cell conductivity.
+
+    Parameters
+    ----------
+    kappa:
+        Cell conductivity, shape ``(ny, nx)``.
+    rx, ry:
+        ``dt/dx^2`` and ``dt/dy^2`` scalings.
+    mean:
+        ``"harmonic"`` (TeaLeaf's choice, exact for layered media) or
+        ``"arithmetic"``.
+
+    Returns
+    -------
+    Kx : ``(ny, nx+1)`` — ``Kx[k, j]`` couples cells ``(k, j-1)`` and
+        ``(k, j)``; columns 0 and nx (physical boundary faces) are zero.
+    Ky : ``(ny+1, nx)`` — ``Ky[k, j]`` couples cells ``(k-1, j)`` and
+        ``(k, j)``; rows 0 and ny are zero.
+    """
+    check_positive("rx", rx)
+    check_positive("ry", ry)
+    kappa = np.asarray(kappa, dtype=np.float64)
+    ny, nx = kappa.shape
+    kx = np.zeros((ny, nx + 1))
+    ky = np.zeros((ny + 1, nx))
+    kx[:, 1:nx] = rx * _face_mean(kappa[:, :-1], kappa[:, 1:], mean)
+    ky[1:ny, :] = ry * _face_mean(kappa[:-1, :], kappa[1:, :], mean)
+    return kx, ky
+
+
+def face_coefficients_3d(
+    kappa: np.ndarray,
+    rx: float,
+    ry: float,
+    rz: float,
+    mean: str = "harmonic",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """3D analogue of :func:`face_coefficients` for the 7-point operator.
+
+    Returns ``(Kx, Ky, Kz)`` with shapes ``(nz, ny, nx+1)``,
+    ``(nz, ny+1, nx)`` and ``(nz+1, ny, nx)``; boundary faces are zero.
+    """
+    check_positive("rx", rx)
+    check_positive("ry", ry)
+    check_positive("rz", rz)
+    kappa = np.asarray(kappa, dtype=np.float64)
+    nz, ny, nx = kappa.shape
+    kx = np.zeros((nz, ny, nx + 1))
+    ky = np.zeros((nz, ny + 1, nx))
+    kz = np.zeros((nz + 1, ny, nx))
+    kx[:, :, 1:nx] = rx * _face_mean(kappa[:, :, :-1], kappa[:, :, 1:], mean)
+    ky[:, 1:ny, :] = ry * _face_mean(kappa[:, :-1, :], kappa[:, 1:, :], mean)
+    kz[1:nz, :, :] = rz * _face_mean(kappa[:-1, :, :], kappa[1:, :, :], mean)
+    return kx, ky, kz

@@ -1,0 +1,240 @@
+"""Time-stepping driver: the TeaLeaf mini-app main loop.
+
+Each step solves ``A u_new = u_old`` where ``A = I + dt * L`` is the implicit
+(backward-Euler) discretisation of the heat equation — implicit because "of
+the severe time step limitations imposed by the stability criteria of an
+explicit solution for a parabolic partial differential equation" (§II).
+
+:class:`Simulation` is the rank-local (SPMD) view; :func:`run_simulation`
+launches one per rank over the in-process world and gathers the results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.comm.base import Communicator
+from repro.comm.spmd import launch_spmd
+from repro.mesh.decomposition import Tile, decompose
+from repro.mesh.field import Field
+from repro.mesh.grid import Grid2D
+from repro.mesh.halo import HaloExchanger
+from repro.physics.conduction import Conductivity
+from repro.physics.problems import ProblemSpec
+from repro.physics.state import build_coefficient_fields, build_fields, global_initial_state
+from repro.solvers.driver import solve_linear
+from repro.solvers.operator import StencilOperator2D
+from repro.solvers.options import SolverOptions
+from repro.utils.errors import ConvergenceError
+from repro.utils.events import EventLog
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class StepStats:
+    """Per-step solver statistics (the fields the harness aggregates)."""
+
+    step: int
+    time: float
+    iterations: int
+    inner_iterations: int
+    warmup_iterations: int
+    converged: bool
+    residual_norm: float
+    mean_temperature: float
+    #: attached when run(summary_frequency=...) hits this step
+    summary: object = None
+
+
+@dataclass
+class SimulationReport:
+    """Gathered outcome of a full run."""
+
+    grid: Grid2D
+    dt: float
+    steps: list[StepStats]
+    temperature: np.ndarray | None  # global (ny, nx), on the caller
+    events: EventLog
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def final_mean_temperature(self) -> float:
+        return self.steps[-1].mean_temperature if self.steps else float("nan")
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(s.iterations + s.inner_iterations + s.warmup_iterations
+                   for s in self.steps)
+
+
+class Simulation:
+    """One rank's share of the mini-app: fields, operator, stepping."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        grid: Grid2D,
+        problem: ProblemSpec,
+        options: SolverOptions | None = None,
+        dt: float = 0.04,
+        conductivity: Conductivity | str = Conductivity.RECIP_DENSITY,
+        face_mean: str = "harmonic",
+        warm_start: bool = True,
+    ):
+        check_positive("dt", dt)
+        self.events = EventLog()
+        # Wrap the communicator so reductions/messages land in the event log
+        # alongside the mesh-level halo-exchange events.
+        from repro.comm.instrument import InstrumentedComm
+        comm = InstrumentedComm(comm, self.events)
+        self.comm = comm
+        self.grid = grid
+        self.options = options if options is not None else SolverOptions()
+        self.dt = dt
+        self.warm_start = warm_start
+        self.time = 0.0
+        self.step_index = 0
+
+        self.tile: Tile = decompose(grid, comm.size)[comm.rank]
+        halo = self.options.required_field_halo
+        self.exchanger = HaloExchanger(comm, events=self.events)
+
+        density_g, energy_g, _ = global_initial_state(grid, problem)
+        self.fields = build_fields(self.tile, halo, density_g, energy_g)
+
+        rx = dt / grid.dx ** 2
+        ry = dt / grid.dy ** 2
+        kx, ky = build_coefficient_fields(
+            self.fields["density"], rx, ry, self.exchanger,
+            model=conductivity, mean=face_mean)
+        self.op = StencilOperator2D(kx=kx, ky=ky, comm=comm,
+                                    exchanger=self.exchanger,
+                                    events=self.events)
+
+    @property
+    def u(self) -> Field:
+        """The temperature field (the solved variable)."""
+        return self.fields["u"]
+
+    def mean_temperature(self) -> float:
+        """Globally averaged temperature (one allreduce)."""
+        total = self.comm.allreduce(self.u.local_sum())
+        return float(total) / self.grid.n_cells
+
+    def summary(self):
+        """TeaLeaf-style field summary (volume/mass/energy/temperature)."""
+        from repro.physics.summary import field_summary
+        return field_summary(self.grid, self.fields["density"], self.u,
+                             self.comm)
+
+    def step(self) -> StepStats:
+        """Advance one implicit step: solve ``A u_new = u_old``."""
+        b = self.u.copy()
+        x0 = self.u if self.warm_start else None
+        result = solve_linear(self.op, b, x0, options=self.options)
+        if not result.converged:
+            raise ConvergenceError(
+                f"step {self.step_index}: {result.summary()}", result=result)
+        self.fields["u"] = result.x
+        self.step_index += 1
+        self.time += self.dt
+        return StepStats(
+            step=self.step_index,
+            time=self.time,
+            iterations=result.iterations,
+            inner_iterations=result.inner_iterations,
+            warmup_iterations=result.warmup_iterations,
+            converged=result.converged,
+            residual_norm=result.residual_norm,
+            mean_temperature=self.mean_temperature(),
+        )
+
+    def run(self, n_steps: int,
+            summary_frequency: int = 0,
+            visit_frequency: int = 0,
+            output_dir=None) -> list[StepStats]:
+        """Advance ``n_steps``, optionally emitting TeaLeaf-style output.
+
+        ``summary_frequency``: every k steps, attach a
+        :class:`~repro.physics.summary.FieldSummary` to the step record
+        (``stats.summary``).  ``visit_frequency``: every k steps, rank 0
+        writes a legacy-VTK dump of the gathered temperature/density into
+        ``output_dir`` (named ``tea.<step>.vtk`` as TeaLeaf does).
+        """
+        check_positive("n_steps", n_steps)
+        stats = []
+        for _ in range(n_steps):
+            s = self.step()
+            if summary_frequency and self.step_index % summary_frequency == 0:
+                s.summary = self.summary()
+            if visit_frequency and self.step_index % visit_frequency == 0:
+                self._visit_dump(output_dir)
+            stats.append(s)
+        return stats
+
+    def _visit_dump(self, output_dir) -> None:
+        from pathlib import Path
+
+        temperature = self.gather_temperature(root=0)
+        density = self.comm.gather(
+            (self.tile, self.fields["density"].interior.copy()), root=0)
+        if temperature is None:
+            return  # not rank 0
+        import numpy as _np
+
+        from repro.io.vtk import write_vtk
+        rho = _np.zeros(self.grid.shape)
+        for tile, part in density:
+            rho[tile.global_slices] = part
+        out = Path(output_dir) if output_dir is not None else Path(".")
+        write_vtk(out / f"tea.{self.step_index}.vtk", self.grid,
+                  {"temperature": temperature, "density": rho})
+
+    def gather_temperature(self, root: int = 0) -> np.ndarray | None:
+        """Assemble the global temperature array on ``root``."""
+        pieces = self.comm.gather((self.tile, self.u.interior.copy()), root)
+        if pieces is None:
+            return None
+        out = np.zeros(self.grid.shape)
+        for tile, interior in pieces:
+            out[tile.global_slices] = interior
+        return out
+
+
+def run_simulation(
+    grid: Grid2D,
+    problem: ProblemSpec,
+    options: SolverOptions | None = None,
+    *,
+    dt: float = 0.04,
+    n_steps: int = 1,
+    nranks: int = 1,
+    conductivity: Conductivity | str = Conductivity.RECIP_DENSITY,
+    face_mean: str = "harmonic",
+    warm_start: bool = True,
+    gather_temperature: bool = True,
+) -> SimulationReport:
+    """Run the mini-app over an ``nranks``-rank in-process world.
+
+    Returns the rank-0 view: per-step statistics, merged event log of rank 0
+    (representative — the perfmodel scales by topology), and the gathered
+    global temperature field.
+    """
+
+    def rank_main(comm):
+        sim = Simulation(comm, grid, problem, options, dt=dt,
+                         conductivity=conductivity, face_mean=face_mean,
+                         warm_start=warm_start)
+        steps = sim.run(n_steps)
+        temp = sim.gather_temperature(root=0) if gather_temperature else None
+        return steps, temp, sim.events
+
+    results = launch_spmd(rank_main, nranks)
+    steps0, temp0, events0 = results[0]
+    return SimulationReport(grid=grid, dt=dt, steps=steps0,
+                            temperature=temp0, events=events0)

@@ -1,0 +1,87 @@
+"""Rank-local 3D state and coefficient construction.
+
+The 3D analogue of :mod:`repro.physics.state`: slice the global initial
+state into rank-local :class:`Field3D` fields and build the padded face
+coefficient fields that the distributed 7-point operator consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.decomposition3d import Tile3D
+from repro.mesh.field3d import Field3D
+from repro.mesh.halo3d import HaloExchanger3D, reflect_boundaries_3d
+from repro.physics.conduction import Conductivity, cell_conductivity
+from repro.utils.errors import ConfigurationError
+
+
+def build_fields_3d(
+    tile: Tile3D,
+    halo: int,
+    density_global: np.ndarray,
+    energy_global: np.ndarray,
+) -> dict[str, Field3D]:
+    """Slice this rank's 3D fields out of the global initial state."""
+    density = Field3D.from_global(tile, halo, density_global)
+    energy = Field3D.from_global(tile, halo, energy_global)
+    u = Field3D(tile, halo)
+    u.interior[...] = density.interior * energy.interior
+    return {"density": density, "energy": energy, "u": u}
+
+
+def build_coefficient_fields_3d(
+    density: Field3D,
+    rx: float,
+    ry: float,
+    rz: float,
+    exchanger: HaloExchanger3D,
+    model: Conductivity | str = Conductivity.RECIP_DENSITY,
+    mean: str = "harmonic",
+) -> tuple[Field3D, Field3D, Field3D]:
+    """Padded rank-local ``(Kx, Ky, Kz)`` from the density field.
+
+    Same contract as the 2D version: coefficients are valid over the whole
+    padded array (full-depth density exchange + boundary reflection) and
+    faces on the physical boundary are zero (insulated box).
+    """
+    tile, h = density.tile, density.halo
+    exchanger.exchange(density, depth=h)
+    reflect_boundaries_3d(density)
+    pad = density.data
+    pad[pad <= 0] = 1.0  # unreferenced outer corners
+    kappa = cell_conductivity(pad, model)
+
+    kx = Field3D(tile, h)
+    ky = Field3D(tile, h)
+    kz = Field3D(tile, h)
+    if mean == "arithmetic":
+        fx = 0.5 * (kappa[:, :, :-1] + kappa[:, :, 1:])
+        fy = 0.5 * (kappa[:, :-1, :] + kappa[:, 1:, :])
+        fz = 0.5 * (kappa[:-1, :, :] + kappa[1:, :, :])
+    elif mean == "harmonic":
+        fx = (2.0 * kappa[:, :, :-1] * kappa[:, :, 1:]
+              / (kappa[:, :, :-1] + kappa[:, :, 1:]))
+        fy = (2.0 * kappa[:, :-1, :] * kappa[:, 1:, :]
+              / (kappa[:, :-1, :] + kappa[:, 1:, :]))
+        fz = (2.0 * kappa[:-1, :, :] * kappa[1:, :, :]
+              / (kappa[:-1, :, :] + kappa[1:, :, :]))
+    else:
+        raise ConfigurationError(f"unknown face mean {mean!r}")
+    kx.data[:, :, 1:] = rx * fx
+    ky.data[:, 1:, :] = ry * fy
+    kz.data[1:, :, :] = rz * fz
+
+    if tile.left is None:
+        kx.data[:, :, h] = 0.0
+    if tile.right is None:
+        kx.data[:, :, h + tile.nx] = 0.0
+    if tile.down is None:
+        ky.data[:, h, :] = 0.0
+    if tile.up is None:
+        ky.data[:, h + tile.ny, :] = 0.0
+    if tile.back is None:
+        kz.data[h, :, :] = 0.0
+    if tile.front is None:
+        kz.data[h + tile.nz, :, :] = 0.0
+    return kx, ky, kz

@@ -1,0 +1,157 @@
+"""(Preconditioned) conjugate gradient solver.
+
+Communication per iteration (the quantities the paper's scaling analysis is
+built on):
+
+- one depth-1 halo exchange (inside the matvec), and
+- two global reductions: ``pw = <p, Ap>`` and the fused ``(<r,z>, <r,r>)``
+  pair — the fusion of the convergence-check and direction dot products into
+  a single allreduce is the "multiple dot products combined into a single
+  communication step" restructuring the paper mentions (§VII).
+
+The CG coefficients ``alpha_i``/``beta_i`` are recorded so the Lanczos
+eigenvalue estimation (:mod:`repro.solvers.eigen`) can consume them — this
+is how CPPCG obtains its spectrum bounds (§III-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.field import Field
+from repro.solvers.operator import StencilOperator2D
+from repro.solvers.preconditioners import (
+    IdentityPreconditioner,
+    Preconditioner,
+)
+from repro.solvers.result import SolveResult
+from repro.utils.errors import ConvergenceError
+from repro.utils.validation import check_positive
+
+
+def cg_solve(
+    op: StencilOperator2D,
+    b: Field,
+    x0: Field | None = None,
+    *,
+    eps: float = 1e-10,
+    max_iters: int = 10_000,
+    preconditioner: Preconditioner | None = None,
+    reference_norm: float | None = None,
+    solver_name: str = "cg",
+    raise_on_stall: bool = False,
+) -> SolveResult:
+    """Solve ``A x = b`` with (preconditioned) CG.
+
+    Parameters
+    ----------
+    op, b, x0:
+        Operator, right-hand side, and optional initial guess (zero default).
+    eps:
+        Relative tolerance: converged when ``||r|| <= eps * reference``.
+    max_iters:
+        Outer-iteration budget.
+    preconditioner:
+        ``z = M^{-1} r`` provider; identity when omitted.  Pass a
+        :class:`~repro.solvers.chebyshev.ChebyshevPreconditioner` to get
+        CPPCG's outer loop.
+    reference_norm:
+        Norm the tolerance is relative to; defaults to the *initial residual
+        norm* of this call.  PPCG's second phase passes the phase-1 value so
+        the overall stopping criterion is unchanged by the switch-over.
+    raise_on_stall:
+        Raise :class:`ConvergenceError` instead of returning an unconverged
+        result when the budget is exhausted.
+
+    Returns
+    -------
+    SolveResult
+        With ``alphas``/``betas`` attached as attributes for eigenvalue
+        estimation.
+    """
+    check_positive("eps", eps)
+    check_positive("max_iters", max_iters)
+    M = preconditioner if preconditioner is not None else IdentityPreconditioner(op)
+    identity = isinstance(M, IdentityPreconditioner)
+
+    x = x0.copy() if x0 is not None else op.new_field()
+    r = op.new_field()
+    w = op.new_field()
+    op.residual(b, x, out=r)
+
+    if identity:
+        z = r
+        (rz,) = op.dots([(r, r)])
+        rr = rz
+    else:
+        z = op.new_field()
+        M.apply(r, z)
+        rz, rr = op.dots([(r, z), (r, r)])
+    p = z.copy()
+
+    r0_norm = float(np.sqrt(rr))
+    reference = r0_norm if reference_norm is None else reference_norm
+    threshold = eps * reference
+    history = [r0_norm]
+    alphas: list[float] = []
+    betas: list[float] = []
+
+    converged = r0_norm <= threshold
+    iterations = 0
+    # the pre-loop z = M^-1 r counts toward inner-iteration accounting
+    precond_applies = 0 if identity else 1
+    res_norm = r0_norm
+
+    while not converged and iterations < max_iters:
+        op.apply(p, w)
+        (pw,) = op.dots([(p, w)])
+        if pw <= 0.0:
+            raise ConvergenceError(
+                f"CG breakdown: <p, Ap> = {pw:.3e} <= 0 (operator not SPD?)")
+        alpha = rz / pw
+        x.interior += alpha * p.interior
+        r.interior -= alpha * w.interior
+        if identity:
+            (rz_new,) = op.dots([(r, r)])
+            rr = rz_new
+        else:
+            M.apply(r, z)
+            precond_applies += 1
+            rz_new, rr = op.dots([(r, z), (r, r)])
+        beta = rz_new / rz
+        alphas.append(float(alpha))
+        betas.append(float(beta))
+        iterations += 1
+        res_norm = float(np.sqrt(rr))
+        history.append(res_norm)
+        if not np.isfinite(res_norm):
+            raise ConvergenceError(
+                f"CG diverged at iteration {iterations}: residual is "
+                "non-finite (indefinite preconditioner or bad eigenvalue "
+                "bounds?)")
+        if res_norm <= threshold:
+            converged = True
+            break
+        p.interior[...] = z.interior + beta * p.interior
+        rz = rz_new
+
+    if not converged and raise_on_stall:
+        raise ConvergenceError(
+            f"CG did not converge in {max_iters} iterations "
+            f"(residual {res_norm:.3e} > {threshold:.3e})")
+
+    result = SolveResult(
+        x=x,
+        solver=solver_name,
+        converged=converged,
+        iterations=iterations,
+        inner_iterations=precond_applies * M.inner_steps,
+        residual_norm=res_norm,
+        initial_residual_norm=r0_norm,
+        history=history,
+        events=op.events,
+    )
+    # CG recurrence coefficients for Lanczos eigenvalue estimation.
+    result.alphas = alphas
+    result.betas = betas
+    return result

@@ -1,0 +1,124 @@
+"""Single-reduction CG (Chronopoulos & Gear).
+
+The paper's §VII lists this restructuring as planned work: "The Krylov
+solver can be restructured so that the multiple dot products are combined
+into a single communication step and the communications can be overlapped
+with the application of the preconditioner."
+
+This variant computes all three inner products of an iteration —
+``gamma = <r, u>``, ``delta = <w, u>`` and the convergence check ``<r, r>`` — in
+**one** fused allreduce, halving CG's global synchronisation count at the
+price of one extra vector recurrence (``s = A p`` is maintained instead of
+recomputed).  In exact arithmetic the iterates coincide with classical CG;
+in floating point they drift slightly (the classic stability trade of
+communication-reduced Krylov methods), which the tests quantify.
+
+Per iteration: 1 matvec (one depth-1 halo exchange), 1 allreduce,
+vs. classical CG's 1 matvec + 2 allreduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.field import Field
+from repro.solvers.operator import StencilOperator2D
+from repro.solvers.preconditioners import (
+    IdentityPreconditioner,
+    Preconditioner,
+)
+from repro.solvers.result import SolveResult
+from repro.utils.errors import ConvergenceError
+from repro.utils.validation import check_positive
+
+
+def cg_fused_solve(
+    op: StencilOperator2D,
+    b: Field,
+    x0: Field | None = None,
+    *,
+    eps: float = 1e-10,
+    max_iters: int = 10_000,
+    preconditioner: Preconditioner | None = None,
+    reference_norm: float | None = None,
+) -> SolveResult:
+    """Solve ``A x = b`` with one global reduction per iteration."""
+    check_positive("eps", eps)
+    check_positive("max_iters", max_iters)
+    M = preconditioner if preconditioner is not None \
+        else IdentityPreconditioner(op)
+
+    x = x0.copy() if x0 is not None else op.new_field()
+    r = op.new_field()
+    op.residual(b, x, out=r)
+
+    u = op.new_field()   # u = M^-1 r
+    w = op.new_field()   # w = A u
+    M.apply(r, u)
+    op.apply(u, w)
+    gamma, delta, rr = op.dots([(r, u), (w, u), (r, r)])
+
+    r0_norm = float(np.sqrt(rr))
+    reference = r0_norm if reference_norm is None else reference_norm
+    threshold = eps * reference
+    history = [r0_norm]
+    alphas: list[float] = []
+    betas: list[float] = []
+
+    if r0_norm <= threshold:
+        return SolveResult(x=x, solver="cg_fused", converged=True,
+                           iterations=0, residual_norm=r0_norm,
+                           initial_residual_norm=r0_norm, history=history,
+                           events=op.events)
+
+    if delta <= 0:
+        raise ConvergenceError(
+            f"fused CG breakdown at setup: <Au, u> = {delta:.3e} <= 0")
+    alpha = gamma / delta
+    beta = 0.0
+    p = u.copy()
+    s = w.copy()   # s = A p, maintained by recurrence
+
+    converged = False
+    iterations = 0
+    res_norm = r0_norm
+
+    while iterations < max_iters:
+        x.interior += alpha * p.interior
+        r.interior -= alpha * s.interior
+        M.apply(r, u)
+        op.apply(u, w)
+        gamma_new, delta, rr = op.dots([(r, u), (w, u), (r, r)])
+        iterations += 1
+        res_norm = float(np.sqrt(rr))
+        history.append(res_norm)
+        alphas.append(float(alpha))
+        if res_norm <= threshold:
+            converged = True
+            betas.append(float(gamma_new / gamma))
+            break
+        beta = gamma_new / gamma
+        betas.append(float(beta))
+        denom = delta - beta * gamma_new / alpha
+        if denom <= 0:
+            raise ConvergenceError(
+                f"fused CG breakdown: alpha denominator {denom:.3e} <= 0 "
+                "(non-SPD operator or accumulated round-off)")
+        alpha = gamma_new / denom
+        gamma = gamma_new
+        p.interior[...] = u.interior + beta * p.interior
+        s.interior[...] = w.interior + beta * s.interior
+
+    result = SolveResult(
+        x=x,
+        solver="cg_fused",
+        converged=converged,
+        iterations=iterations,
+        residual_norm=res_norm,
+        initial_residual_norm=r0_norm,
+        history=history,
+        events=op.events,
+    )
+    result.alphas = alphas
+    result.betas = betas
+    return result

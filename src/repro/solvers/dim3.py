@@ -1,0 +1,162 @@
+"""3D (7-point) diffusion operator and serial solvers.
+
+TeaLeaf "solves the linear heat conduction equation ... in two and three
+dimensions via five and seven point finite difference stencils" (§II); the
+paper's evaluation is 2D ("the 3D results are similar"), so the 3D path is
+provided serially: the matrix-free 7-point operator, CG, Jacobi and the
+ground-truth sparse assembly, all on plain ``(nz, ny, nx)`` arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.errors import ConfigurationError, ConvergenceError
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class StencilOperator3D:
+    """Matrix-free 7-point operator ``A = I + D`` on global arrays.
+
+    Face arrays follow :func:`repro.physics.conduction.face_coefficients_3d`:
+    ``kx``: ``(nz, ny, nx+1)``, ``ky``: ``(nz, ny+1, nx)``,
+    ``kz``: ``(nz+1, ny, nx)``; boundary faces zero (insulated).
+    """
+
+    kx: np.ndarray
+    ky: np.ndarray
+    kz: np.ndarray
+
+    def __post_init__(self):
+        nz, ny, nxp1 = self.kx.shape
+        nx = nxp1 - 1
+        if self.ky.shape != (nz, ny + 1, nx) or self.kz.shape != (nz + 1, ny, nx):
+            raise ConfigurationError(
+                f"inconsistent face shapes {self.kx.shape} / "
+                f"{self.ky.shape} / {self.kz.shape}")
+        self.shape = (nz, ny, nx)
+
+    @property
+    def n_cells(self) -> int:
+        nz, ny, nx = self.shape
+        return nz * ny * nx
+
+    def diagonal(self) -> np.ndarray:
+        return (1.0
+                + self.kx[:, :, :-1] + self.kx[:, :, 1:]
+                + self.ky[:, :-1, :] + self.ky[:, 1:, :]
+                + self.kz[:-1, :, :] + self.kz[1:, :, :])
+
+    def apply(self, u: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``out = A u``."""
+        if u.shape != self.shape:
+            raise ConfigurationError(
+                f"field shape {u.shape} != operator shape {self.shape}")
+        if out is None:
+            out = np.empty_like(u)
+        kx, ky, kz = self.kx, self.ky, self.kz
+        np.multiply(self.diagonal(), u, out=out)
+        out[:, :, 1:] -= kx[:, :, 1:-1] * u[:, :, :-1]
+        out[:, :, :-1] -= kx[:, :, 1:-1] * u[:, :, 1:]
+        out[:, 1:, :] -= ky[:, 1:-1, :] * u[:, :-1, :]
+        out[:, :-1, :] -= ky[:, 1:-1, :] * u[:, 1:, :]
+        out[1:, :, :] -= kz[1:-1, :, :] * u[:-1, :, :]
+        out[:-1, :, :] -= kz[1:-1, :, :] * u[1:, :, :]
+        return out
+
+    def to_sparse(self) -> sp.csr_matrix:
+        """Explicit sparse assembly (tests/ground truth)."""
+        nz, ny, nx = self.shape
+        n = self.n_cells
+
+        def idx(i, k, j):
+            return (i * ny + k) * nx + j
+
+        diag = self.diagonal()
+        rows, cols, vals = [], [], []
+        for i in range(nz):
+            for k in range(ny):
+                for j in range(nx):
+                    r = idx(i, k, j)
+                    rows.append(r); cols.append(r); vals.append(diag[i, k, j])
+                    if j > 0 and self.kx[i, k, j]:
+                        rows.append(r); cols.append(idx(i, k, j - 1))
+                        vals.append(-self.kx[i, k, j])
+                    if j < nx - 1 and self.kx[i, k, j + 1]:
+                        rows.append(r); cols.append(idx(i, k, j + 1))
+                        vals.append(-self.kx[i, k, j + 1])
+                    if k > 0 and self.ky[i, k, j]:
+                        rows.append(r); cols.append(idx(i, k - 1, j))
+                        vals.append(-self.ky[i, k, j])
+                    if k < ny - 1 and self.ky[i, k + 1, j]:
+                        rows.append(r); cols.append(idx(i, k + 1, j))
+                        vals.append(-self.ky[i, k + 1, j])
+                    if i > 0 and self.kz[i, k, j]:
+                        rows.append(r); cols.append(idx(i - 1, k, j))
+                        vals.append(-self.kz[i, k, j])
+                    if i < nz - 1 and self.kz[i + 1, k, j]:
+                        rows.append(r); cols.append(idx(i + 1, k, j))
+                        vals.append(-self.kz[i + 1, k, j])
+        return sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def cg_solve_3d(op: StencilOperator3D, b: np.ndarray,
+                x0: np.ndarray | None = None, *,
+                eps: float = 1e-10, max_iters: int = 10_000
+                ) -> tuple[np.ndarray, int, float]:
+    """Serial CG for the 3D operator.
+
+    Returns ``(x, iterations, relative_residual)``.
+    """
+    check_positive("eps", eps)
+    check_positive("max_iters", max_iters)
+    x = x0.copy() if x0 is not None else np.zeros_like(b)
+    r = b - op.apply(x)
+    p = r.copy()
+    rr = float(np.vdot(r, r).real)
+    r0 = np.sqrt(rr)
+    if r0 == 0.0:
+        return x, 0, 0.0
+    threshold = (eps * r0) ** 2
+    w = np.empty_like(b)
+    iterations = 0
+    while rr > threshold and iterations < max_iters:
+        op.apply(p, out=w)
+        pw = float(np.vdot(p, w).real)
+        if pw <= 0:
+            raise ConvergenceError(f"3D CG breakdown: <p,Ap>={pw:.3e}")
+        alpha = rr / pw
+        x += alpha * p
+        r -= alpha * w
+        rr_new = float(np.vdot(r, r).real)
+        p *= rr_new / rr
+        p += r
+        rr = rr_new
+        iterations += 1
+    return x, iterations, float(np.sqrt(rr) / r0)
+
+
+def jacobi_solve_3d(op: StencilOperator3D, b: np.ndarray,
+                    x0: np.ndarray | None = None, *,
+                    eps: float = 1e-8, max_iters: int = 100_000
+                    ) -> tuple[np.ndarray, int, float]:
+    """Serial Jacobi for the 3D operator (correction form)."""
+    check_positive("eps", eps)
+    x = x0.copy() if x0 is not None else np.zeros_like(b)
+    inv_diag = 1.0 / op.diagonal()
+    r = b - op.apply(x)
+    r0 = float(np.linalg.norm(r))
+    if r0 == 0.0:
+        return x, 0, 0.0
+    iterations = 0
+    res = r0
+    while res > eps * r0 and iterations < max_iters:
+        x += inv_diag * r
+        r = b - op.apply(x)
+        res = float(np.linalg.norm(r))
+        iterations += 1
+    return x, iterations, res / r0

@@ -1,0 +1,79 @@
+"""Single entry point dispatching to the configured solver."""
+
+from __future__ import annotations
+
+from repro.mesh.field import Field
+from repro.solvers.cg import cg_solve
+from repro.solvers.chebyshev import chebyshev_solve
+from repro.solvers.jacobi import jacobi_solve
+from repro.solvers.operator import StencilOperator2D
+from repro.solvers.options import SolverOptions
+from repro.solvers.ppcg import ppcg_solve
+from repro.solvers.preconditioners import make_local_preconditioner
+from repro.solvers.result import SolveResult
+from repro.utils.errors import ConfigurationError
+
+
+def solve_linear(
+    op: StencilOperator2D,
+    b: Field,
+    x0: Field | None = None,
+    options: SolverOptions | None = None,
+) -> SolveResult:
+    """Solve ``A x = b`` with the solver selected in ``options``.
+
+    The operator's fields must have halo depth >=
+    ``options.required_field_halo`` (matrix powers needs deep halos).
+    """
+    opt = options if options is not None else SolverOptions()
+    if op.halo < opt.required_field_halo:
+        raise ConfigurationError(
+            f"{opt.label()} needs field halo >= {opt.required_field_halo}, "
+            f"operator has {op.halo}")
+
+    if opt.solver == "jacobi":
+        return jacobi_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters)
+    if opt.solver == "cg":
+        M = make_local_preconditioner(op, opt.preconditioner)
+        return cg_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters,
+                        preconditioner=M)
+    if opt.solver == "cg_fused":
+        from repro.solvers.cg_fused import cg_fused_solve
+        M = make_local_preconditioner(op, opt.preconditioner)
+        return cg_fused_solve(op, b, x0, eps=opt.eps,
+                              max_iters=opt.max_iters, preconditioner=M)
+    if opt.solver == "dcg":
+        from repro.solvers.deflation import deflated_cg_solve
+        return deflated_cg_solve(op, b, x0, eps=opt.eps,
+                                 max_iters=opt.max_iters,
+                                 blocks=opt.deflation_blocks,
+                                 preconditioner=opt.preconditioner)
+    if opt.solver == "chebyshev":
+        return chebyshev_solve(
+            op, b, x0, eps=opt.eps, max_iters=opt.max_iters,
+            warmup_iters=opt.eigen_warmup_iters,
+            eigen_safety=opt.eigen_safety,
+            check_interval=opt.check_interval,
+            preconditioner=opt.preconditioner,
+            halo_depth=opt.halo_depth,
+        )
+    if opt.solver == "ppcg":
+        return ppcg_solve(
+            op, b, x0, eps=opt.eps, max_iters=opt.max_iters,
+            inner_steps=opt.ppcg_inner_steps,
+            halo_depth=opt.halo_depth,
+            warmup_iters=opt.eigen_warmup_iters,
+            eigen_safety=opt.eigen_safety,
+            inner_preconditioner=opt.preconditioner,
+            adaptive=opt.adaptive,
+        )
+    if opt.solver == "mgcg":
+        # Imported lazily: multigrid builds on this package.  Serial runs
+        # use the global-grid hierarchy; decomposed runs use the hybrid
+        # domain-decomposition + agglomeration V-cycle (paper §VII).
+        if op.comm.size == 1:
+            from repro.multigrid.mgcg import mgcg_solve
+            return mgcg_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters)
+        from repro.multigrid.distributed import dmgcg_solve
+        return dmgcg_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters)
+    raise ConfigurationError(f"unknown solver {opt.solver!r}")

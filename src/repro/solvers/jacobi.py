@@ -1,0 +1,67 @@
+"""Point-Jacobi relaxation (TeaLeaf ``tl_use_jacobi``).
+
+The simplest solver in the design space: per iteration one depth-1 halo
+exchange, one stencil application and one allreduce (the convergence check).
+Written in correction form ``u <- u + D^{-1}(b - A u)``, which is
+algebraically identical to the classic update ``D u_new = b + N u_old`` and
+reuses the shared matvec kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.field import Field
+from repro.solvers.operator import StencilOperator2D
+from repro.solvers.result import SolveResult
+from repro.utils.validation import check_positive
+
+
+def jacobi_solve(
+    op: StencilOperator2D,
+    b: Field,
+    x0: Field | None = None,
+    *,
+    eps: float = 1e-10,
+    max_iters: int = 100_000,
+) -> SolveResult:
+    """Solve ``A x = b`` by Jacobi iteration.
+
+    Converges for the diffusion operator (strictly diagonally dominant),
+    but slowly — it exists as the paper's simplest baseline and as the
+    smoother building block for multigrid.
+    """
+    check_positive("eps", eps)
+    check_positive("max_iters", max_iters)
+    x = x0.copy() if x0 is not None else op.new_field()
+    r = op.new_field()
+    inv_diag = 1.0 / op.diagonal()
+
+    op.residual(b, x, out=r)
+    rr = op.dot(r, r)
+    r0_norm = float(np.sqrt(rr))
+    threshold = eps * r0_norm
+    history = [r0_norm]
+    converged = r0_norm <= threshold
+    iterations = 0
+    res_norm = r0_norm
+
+    while not converged and iterations < max_iters:
+        x.interior += inv_diag * r.interior
+        op.residual(b, x, out=r)
+        rr = op.dot(r, r)
+        iterations += 1
+        res_norm = float(np.sqrt(rr))
+        history.append(res_norm)
+        converged = res_norm <= threshold
+
+    return SolveResult(
+        x=x,
+        solver="jacobi",
+        converged=converged,
+        iterations=iterations,
+        residual_norm=res_norm,
+        initial_residual_norm=r0_norm,
+        history=history,
+        events=op.events,
+    )

@@ -1,0 +1,97 @@
+"""Unified solver configuration object.
+
+Mirrors the TeaLeaf deck's ``tl_*`` settings; validated once at
+construction so downstream code can trust it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_in, check_positive, require
+
+SOLVERS = ("jacobi", "cg", "cg_fused", "dcg", "chebyshev", "ppcg", "mgcg")
+PRECONDITIONERS = ("none", "diagonal", "block_jacobi")
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Validated solver configuration.
+
+    Attributes
+    ----------
+    solver:
+        ``jacobi`` | ``cg`` | ``chebyshev`` | ``ppcg`` (= CPPCG) |
+        ``mgcg`` (the CG + geometric-multigrid baseline standing in for
+        PETSc CG + BoomerAMG).
+    eps:
+        Relative residual tolerance (TeaLeaf ``tl_eps``).
+    max_iters:
+        Outer iteration budget (``tl_max_iters``).
+    preconditioner:
+        Local preconditioner for CG, and inner preconditioner for
+        Chebyshev/PPCG inner steps.
+    ppcg_inner_steps:
+        Chebyshev polynomial degree per outer iteration
+        (``tl_ppcg_inner_steps``).
+    halo_depth:
+        Matrix-powers halo depth for Chebyshev/PPCG inner iterations; the
+        paper's configurations "PPCG - n" set this to 1/4/8/16.
+    eigen_warmup_iters / eigen_safety:
+        Eigenvalue-estimation controls (§III-D).
+    check_interval:
+        Residual-check cadence for the standalone Chebyshev solver.
+    """
+
+    solver: str = "cg"
+    eps: float = 1e-10
+    max_iters: int = 10_000
+    preconditioner: str = "none"
+    ppcg_inner_steps: int = 10
+    halo_depth: int = 1
+    eigen_warmup_iters: int = 25
+    eigen_safety: tuple[float, float] = (0.95, 1.05)
+    check_interval: int = 10
+    #: PPCG robustness: re-estimate eigenvalue bounds and restart when the
+    #: outer iteration stalls or breaks down (addresses the paper's §VIII
+    #: open question about robustness at extreme condition numbers).
+    adaptive: bool = False
+    #: Deflated CG (solver="dcg"): subdomain partition (qx, qy).
+    deflation_blocks: tuple[int, int] = (4, 4)
+
+    def __post_init__(self):
+        check_in("solver", self.solver, SOLVERS)
+        check_in("preconditioner", self.preconditioner, PRECONDITIONERS)
+        check_positive("eps", self.eps)
+        check_positive("max_iters", self.max_iters)
+        check_positive("ppcg_inner_steps", self.ppcg_inner_steps)
+        check_positive("halo_depth", self.halo_depth)
+        check_positive("eigen_warmup_iters", self.eigen_warmup_iters)
+        check_positive("check_interval", self.check_interval)
+        qx, qy = self.deflation_blocks
+        check_positive("deflation_blocks[0]", qx)
+        check_positive("deflation_blocks[1]", qy)
+        require(
+            not (self.preconditioner == "block_jacobi" and self.halo_depth > 1
+                 and self.solver in ("chebyshev", "ppcg")),
+            "block Jacobi cannot be combined with matrix powers "
+            "(halo_depth > 1); see paper §IV-C2",
+        )
+        lo, hi = self.eigen_safety
+        require(0 < lo <= 1.0 <= hi,
+                f"eigen_safety must satisfy 0 < lo <= 1 <= hi, got {self.eigen_safety}")
+
+    @property
+    def required_field_halo(self) -> int:
+        """Minimum halo depth the solve's fields must be allocated with."""
+        if self.solver in ("chebyshev", "ppcg"):
+            return max(1, self.halo_depth)
+        return 1
+
+    def label(self) -> str:
+        """Figure-legend-style label, e.g. ``"PPCG - 16"`` or ``"CG - 1"``."""
+        base = {"cg": "CG", "ppcg": "PPCG", "chebyshev": "Cheby",
+                "jacobi": "Jacobi", "mgcg": "MG-CG", "cg_fused": "CG-F",
+                "dcg": "DCG"}[self.solver]
+        depth = self.halo_depth if self.solver in ("chebyshev", "ppcg") else 1
+        return f"{base} - {depth}"

@@ -1,0 +1,169 @@
+"""CPPCG: Chebyshev polynomially preconditioned conjugate gradients.
+
+The paper's communication-avoiding solver (§III).  Structure:
+
+1. **Warm-up** — ``warmup_iters`` of plain (P)CG, recording the recurrence
+   coefficients; the Lanczos tridiagonal built from them yields estimates
+   of the extreme eigenvalues (§III-D).
+2. **Switch-over** — continue from the warm-up iterate with PCG whose
+   preconditioner applies ``inner_steps`` Chebyshev steps per outer
+   iteration (:class:`~repro.solvers.chebyshev.ChebyshevPreconditioner`).
+
+Per *outer* iteration CPPCG pays the same two allreduces as CG but performs
+``inner_steps + 1`` stencil applications, so the global-communication count
+drops by roughly ``sqrt(kappa_cg / kappa_pcg)`` (Eqs. 6-7) while the matvec count is
+unchanged — a trade that wins exactly where the paper's strong-scaling
+study shows it: at high node counts where allreduce latency dominates.
+
+With ``halo_depth = n > 1`` the inner iterations additionally use the
+matrix powers kernel: one ``n``-deep halo exchange per ``n`` inner steps.
+"""
+
+from __future__ import annotations
+
+from repro.mesh.field import Field
+from repro.solvers.cg import cg_solve
+from repro.solvers.chebyshev import ChebyshevPreconditioner
+from repro.solvers.eigen import (
+    EigenBounds,
+    estimate_eigenvalues,
+    iteration_bounds,
+)
+from repro.solvers.operator import StencilOperator2D
+from repro.solvers.preconditioners import make_local_preconditioner
+from repro.solvers.result import SolveResult
+from repro.utils.errors import ConfigurationError, ConvergenceError
+from repro.utils.validation import check_positive
+
+
+def ppcg_solve(
+    op: StencilOperator2D,
+    b: Field,
+    x0: Field | None = None,
+    *,
+    eps: float = 1e-10,
+    max_iters: int = 10_000,
+    inner_steps: int = 10,
+    halo_depth: int = 1,
+    warmup_iters: int = 25,
+    eigen_safety: tuple[float, float] = (0.95, 1.05),
+    inner_preconditioner: str = "none",
+    bounds: EigenBounds | None = None,
+    adaptive: bool = False,
+    max_restarts: int = 2,
+) -> SolveResult:
+    """Solve ``A x = b`` with CPPCG.
+
+    Parameters
+    ----------
+    inner_steps:
+        Chebyshev polynomial degree ``m`` applied per outer iteration
+        (TeaLeaf ``tl_ppcg_inner_steps``).
+    halo_depth:
+        Matrix-powers halo depth ``n`` for the inner iterations; the paper
+        evaluates 1/4/8/16.  Requires operator fields with halo >= n.
+    warmup_iters:
+        Plain CG iterations used for eigenvalue estimation before the
+        switch-over.
+    inner_preconditioner:
+        Local preconditioner applied inside the Chebyshev inner steps
+        (``none``/``diagonal``; ``block_jacobi`` only with halo depth 1).
+    bounds:
+        Skip estimation and use these eigenvalue bounds directly.
+    adaptive:
+        Robust mode (paper §VIII asks whether "these simpler methods can
+        cope with extreme condition numbers robustly"): when the outer
+        iteration stalls or breaks down — typically because the estimated
+        ``lam_max`` undershot the spectrum and the Chebyshev polynomial
+        lost positive-definiteness — re-run a short CG from the current
+        iterate, re-estimate with widened safety factors, and restart, up
+        to ``max_restarts`` times.
+    """
+    check_positive("inner_steps", inner_steps)
+    check_positive("warmup_iters", warmup_iters)
+    if not 1 <= halo_depth <= op.halo:
+        raise ConfigurationError(
+            f"halo_depth {halo_depth} requires operator halo >= {halo_depth}, "
+            f"got {op.halo}")
+    if inner_preconditioner == "block_jacobi" and halo_depth > 1:
+        raise ConfigurationError(
+            "block Jacobi cannot be combined with matrix powers "
+            "(halo_depth > 1); see paper §IV-C2")
+
+    local_M = make_local_preconditioner(op, inner_preconditioner)
+    warmup = cg_solve(op, b, x0, eps=eps, max_iters=warmup_iters,
+                      preconditioner=local_M, solver_name="ppcg")
+    if warmup.converged:
+        warmup.warmup_iterations = warmup.iterations
+        warmup.iterations = 0
+        warmup.restarts = 0
+        return warmup
+    if bounds is None:
+        bounds = estimate_eigenvalues(warmup.alphas, warmup.betas,
+                                      safety=eigen_safety)
+
+    reference = warmup.initial_residual_norm
+    extra_warmup = 0
+    history_prefix = list(warmup.history)
+    current_x = warmup.x
+    restarts = 0
+    budget = max_iters
+    outer = None
+    safety = eigen_safety
+
+    while True:
+        cheby = ChebyshevPreconditioner(
+            op, bounds, steps=inner_steps, halo_depth=halo_depth,
+            inner_preconditioner=inner_preconditioner)
+        # Stall detection window: Eq. 7 predicts the outer iteration count
+        # *if the bounds are right*; exceeding it by 4x means they are not.
+        chunk = max(budget, 1)
+        if adaptive and restarts < max_restarts:
+            predicted = iteration_bounds(bounds, inner_steps,
+                                         tolerance=eps).k_outer
+            chunk = min(chunk, int(4 * predicted) + 20)
+        breakdown: ConvergenceError | None = None
+        try:
+            outer = cg_solve(
+                op, b, current_x,
+                eps=eps,
+                max_iters=chunk,
+                preconditioner=cheby,
+                reference_norm=reference,
+                solver_name="ppcg",
+            )
+        except ConvergenceError as exc:
+            if not adaptive:
+                raise
+            breakdown = exc
+        if breakdown is None:
+            history_prefix += outer.history[1:]
+            budget -= outer.iterations
+            current_x = outer.x
+            if outer.converged or not adaptive or budget <= 0 \
+                    or restarts >= max_restarts:
+                break
+        elif restarts >= max_restarts:
+            raise breakdown
+
+        # Restart: widen the interval and re-estimate from where we are.
+        restarts += 1
+        safety = (safety[0] * 0.85, safety[1] * 1.25)
+        rewarm = cg_solve(op, b, current_x, eps=eps, max_iters=warmup_iters,
+                          reference_norm=reference, solver_name="ppcg")
+        extra_warmup += rewarm.iterations
+        history_prefix += rewarm.history[1:]
+        current_x = rewarm.x
+        if rewarm.converged:
+            outer = rewarm
+            outer.iterations = 0
+            break
+        bounds = estimate_eigenvalues(rewarm.alphas, rewarm.betas,
+                                      safety=safety)
+
+    outer.x = current_x
+    outer.warmup_iterations = warmup.iterations + extra_warmup
+    outer.history = history_prefix
+    outer.eigen_bounds = (bounds.lam_min, bounds.lam_max)
+    outer.restarts = restarts
+    return outer

@@ -1,0 +1,68 @@
+"""Solve outcome record shared by all solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mesh.field import Field
+from repro.utils.events import EventLog
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one linear solve.
+
+    Attributes
+    ----------
+    x:
+        The solution field (interior valid).
+    solver:
+        Solver name (``"cg"``, ``"ppcg"``, ...).
+    converged:
+        Whether the tolerance was met within the iteration budget.
+    iterations:
+        Outer iterations performed (CG steps, Chebyshev steps, ...).
+    inner_iterations:
+        Total preconditioner inner steps (CPPCG Chebyshev applications);
+        zero for solvers without an inner loop.
+    residual_norm / initial_residual_norm:
+        Global 2-norms of the final and initial residuals.
+    history:
+        Residual norm per convergence check (including the initial one).
+    eigen_bounds:
+        ``(lambda_min, lambda_max)`` estimates used, when applicable.
+    warmup_iterations:
+        CG iterations spent estimating eigenvalues (PPCG/Chebyshev).
+    events:
+        The event log accumulated during the solve (communication and
+        kernel counts); shared with the operator.
+    """
+
+    x: Field
+    solver: str
+    converged: bool
+    iterations: int
+    residual_norm: float
+    initial_residual_norm: float
+    inner_iterations: int = 0
+    warmup_iterations: int = 0
+    history: list = field(default_factory=list)
+    eigen_bounds: tuple | None = None
+    events: EventLog | None = None
+
+    @property
+    def relative_residual(self) -> float:
+        if self.initial_residual_norm == 0.0:
+            return 0.0
+        return self.residual_norm / self.initial_residual_norm
+
+    @property
+    def total_iterations(self) -> int:
+        """Outer + inner + warm-up iterations (~ matvec count)."""
+        return self.iterations + self.inner_iterations + self.warmup_iterations
+
+    def summary(self) -> str:
+        return (f"{self.solver}: {'converged' if self.converged else 'NOT converged'} "
+                f"in {self.iterations} outer + {self.inner_iterations} inner "
+                f"(+{self.warmup_iterations} warm-up) iterations, "
+                f"relative residual {self.relative_residual:.3e}")

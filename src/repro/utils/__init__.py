@@ -1,0 +1,31 @@
+"""Shared utilities: error types, event accounting, timing, validation."""
+
+from repro.utils.errors import (
+    ReproError,
+    ConfigurationError,
+    ConvergenceError,
+    DecompositionError,
+    CommunicationError,
+)
+from repro.utils.events import EventLog
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    require,
+    check_positive,
+    check_in,
+    check_type,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "DecompositionError",
+    "CommunicationError",
+    "EventLog",
+    "Timer",
+    "require",
+    "check_positive",
+    "check_in",
+    "check_type",
+]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still being able
+to distinguish configuration mistakes from runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid user-supplied configuration (options, decks, parameters)."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to reach the requested tolerance.
+
+    The partially converged result is attached so callers can inspect it.
+    """
+
+    def __init__(self, message: str, result=None):
+        super().__init__(message)
+        self.result = result
+
+
+class DecompositionError(ReproError, ValueError):
+    """A domain decomposition request cannot be satisfied."""
+
+
+class CommunicationError(ReproError, RuntimeError):
+    """Misuse of, or failure inside, the SPMD communication layer."""

@@ -1,0 +1,90 @@
+"""Event accounting used to build communication/computation profiles.
+
+An :class:`EventLog` aggregates counts and payload sizes of the logical events
+a solver emits while running (halo exchanges by depth, global reductions,
+stencil applications with cell counts, ...).  The performance model in
+:mod:`repro.perfmodel` consumes these profiles to predict time-to-solution on
+the paper's machines; the test-suite uses them to verify the analytic
+per-iteration communication formulas against what the solvers actually do.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+
+@dataclass
+class EventLog:
+    """Aggregated counters for logical solver/communication events.
+
+    Events are identified by a ``kind`` string plus an optional hashable
+    ``key`` refining it (e.g. ``("halo_exchange", depth)``).  Each event can
+    carry additive payload quantities (``bytes=...``, ``cells=...``) which are
+    accumulated per ``(kind, key)`` bucket.
+    """
+
+    counts: Counter = field(default_factory=Counter)
+    quantities: dict = field(default_factory=dict)
+
+    def record(self, kind: str, key: Any = None, n: int = 1, **amounts: float) -> None:
+        """Record ``n`` occurrences of an event with additive payloads."""
+        bucket = (kind, key)
+        self.counts[bucket] += n
+        if amounts:
+            q = self.quantities.setdefault(bucket, Counter())
+            for name, value in amounts.items():
+                q[name] += value
+
+    def count(self, kind: str, key: Any = None) -> int:
+        """Number of recorded events for ``(kind, key)``."""
+        return self.counts.get((kind, key), 0)
+
+    def count_kind(self, kind: str) -> int:
+        """Total events of ``kind`` across all keys."""
+        return sum(n for (k, _key), n in self.counts.items() if k == kind)
+
+    def total(self, kind: str, amount: str, key: Any = None) -> float:
+        """Accumulated payload ``amount`` for ``(kind, key)``."""
+        if key is not None:
+            return self.quantities.get((kind, key), {}).get(amount, 0.0)
+        return sum(
+            q.get(amount, 0.0)
+            for (k, _key), q in self.quantities.items()
+            if k == kind
+        )
+
+    def keys_for(self, kind: str) -> list:
+        """All refinement keys observed for ``kind``."""
+        return sorted(
+            {key for (k, key) in self.counts if k == kind},
+            key=lambda key: (key is None, key),
+        )
+
+    def merge(self, other: "EventLog") -> "EventLog":
+        """Fold another log's counters into this one (returns self)."""
+        self.counts.update(other.counts)
+        for bucket, q in other.quantities.items():
+            self.quantities.setdefault(bucket, Counter()).update(q)
+        return self
+
+    def clear(self) -> None:
+        self.counts.clear()
+        self.quantities.clear()
+
+    def as_dict(self) -> Mapping[tuple, int]:
+        """Snapshot of the raw counters (for reporting/tests)."""
+        return dict(self.counts)
+
+    @staticmethod
+    def merged(logs: Iterable["EventLog"]) -> "EventLog":
+        """Combine several rank-local logs into one aggregate log."""
+        out = EventLog()
+        for log in logs:
+            out.merge(log)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rows = ", ".join(f"{k}:{v}" for k, v in sorted(self.counts.items(), key=str))
+        return f"EventLog({rows})"

@@ -1,0 +1,43 @@
+"""Small argument-validation helpers used across the package.
+
+These raise :class:`~repro.utils.errors.ConfigurationError` (a ``ValueError``
+subclass) with uniform messages, keeping the call sites one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection
+
+from repro.utils.errors import ConfigurationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ConfigurationError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def check_positive(name: str, value: float, allow_zero: bool = False) -> float:
+    """Validate that a numeric parameter is positive (or non-negative)."""
+    if allow_zero:
+        require(value >= 0, f"{name} must be >= 0, got {value!r}")
+    else:
+        require(value > 0, f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Collection) -> Any:
+    """Validate that ``value`` is one of ``allowed``."""
+    require(
+        value in allowed,
+        f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}",
+    )
+    return value
+
+
+def check_type(name: str, value: Any, types) -> Any:
+    """Validate ``isinstance(value, types)``."""
+    if not isinstance(value, types):
+        tn = getattr(types, "__name__", str(types))
+        raise ConfigurationError(f"{name} must be {tn}, got {type(value).__name__}")
+    return value

@@ -1,0 +1,22 @@
+"""Shared construction helpers for the test-suite.
+
+These now live in the public :mod:`repro.testing` module (so downstream
+users get the same scaffolding); this module re-exports them for the
+test-suite's imports.
+"""
+
+from repro.testing import (  # noqa: F401
+    crooked_pipe_system,
+    distributed_solve,
+    random_spd_faces,
+    reference_solution,
+    serial_operator,
+)
+
+__all__ = [
+    "crooked_pipe_system",
+    "distributed_solve",
+    "random_spd_faces",
+    "reference_solution",
+    "serial_operator",
+]

@@ -1,0 +1,97 @@
+"""Unit tests: the 3D (7-point) operator and serial solvers."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.mesh import Grid3D
+from repro.physics import face_coefficients_3d
+from repro.solvers.dim3 import (
+    StencilOperator3D,
+    cg_solve_3d,
+    jacobi_solve_3d,
+)
+from repro.utils import ConfigurationError
+
+
+def random_op(rng, nz=4, ny=5, nx=6):
+    kappa = rng.uniform(0.2, 5.0, size=(nz, ny, nx))
+    kx, ky, kz = face_coefficients_3d(kappa, 0.7, 0.5, 0.3)
+    return StencilOperator3D(kx=kx, ky=ky, kz=kz)
+
+
+class TestOperator3D:
+    def test_matvec_matches_sparse(self, rng):
+        op = random_op(rng)
+        A = op.to_sparse()
+        u = rng.standard_normal(op.shape)
+        assert np.allclose(op.apply(u).ravel(), A @ u.ravel(), atol=1e-12)
+
+    def test_symmetric_spd(self, rng):
+        op = random_op(rng, 3, 3, 3)
+        A = op.to_sparse().toarray()
+        assert np.allclose(A, A.T)
+        assert np.linalg.eigvalsh(A).min() >= 1.0 - 1e-10
+
+    def test_constant_preserved(self, rng):
+        op = random_op(rng)
+        out = op.apply(np.ones(op.shape))
+        assert np.allclose(out, 1.0, atol=1e-12)
+
+    def test_diagonal_matches_sparse(self, rng):
+        op = random_op(rng)
+        A = op.to_sparse()
+        assert np.allclose(op.diagonal().ravel(), A.diagonal())
+
+    def test_shape_validation(self, rng):
+        op = random_op(rng)
+        with pytest.raises(ConfigurationError):
+            op.apply(np.zeros((2, 2, 2)))
+
+    def test_inconsistent_faces_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StencilOperator3D(kx=np.zeros((2, 2, 3)),
+                              ky=np.zeros((2, 3, 2)),
+                              kz=np.zeros((4, 2, 2)))
+
+
+class TestSolvers3D:
+    def test_cg_matches_direct(self, rng):
+        op = random_op(rng, 4, 4, 4)
+        b = rng.standard_normal(op.shape)
+        x_ref = spla.spsolve(op.to_sparse().tocsc(), b.ravel()).reshape(op.shape)
+        x, iters, rel = cg_solve_3d(op, b, eps=1e-12)
+        assert rel <= 1e-12
+        assert np.allclose(x, x_ref, atol=1e-9)
+        assert 0 < iters <= op.n_cells
+
+    def test_cg_zero_rhs(self, rng):
+        op = random_op(rng)
+        x, iters, rel = cg_solve_3d(op, np.zeros(op.shape))
+        assert iters == 0 and rel == 0.0
+
+    def test_cg_does_not_mutate_x0(self, rng):
+        op = random_op(rng)
+        b = rng.standard_normal(op.shape)
+        x0 = np.ones(op.shape)
+        cg_solve_3d(op, b, x0=x0, eps=1e-8)
+        assert np.all(x0 == 1.0)
+
+    def test_jacobi_matches_cg(self, rng):
+        op = random_op(rng, 3, 4, 3)
+        b = rng.standard_normal(op.shape)
+        x_cg, _, _ = cg_solve_3d(op, b, eps=1e-12)
+        x_j, iters, rel = jacobi_solve_3d(op, b, eps=1e-10)
+        assert rel <= 1e-10
+        assert np.allclose(x_j, x_cg, atol=1e-7)
+
+    def test_heat_conservation_3d(self, rng):
+        """Insulated box: one implicit step conserves total energy."""
+        grid = Grid3D(6, 6, 6)
+        kappa = rng.uniform(0.5, 2.0, size=grid.shape)
+        rx = 0.1 / grid.dx ** 2
+        kx, ky, kz = face_coefficients_3d(kappa, rx, rx, rx)
+        op = StencilOperator3D(kx=kx, ky=ky, kz=kz)
+        u0 = rng.uniform(0.0, 5.0, size=grid.shape)
+        u1, _, _ = cg_solve_3d(op, u0, eps=1e-12)
+        assert u1.sum() == pytest.approx(u0.sum(), rel=1e-10)

@@ -1,0 +1,251 @@
+"""Tests: distributed 3D — decomposition, halos, and the shared solvers.
+
+The headline property: the dimension-agnostic solver implementations (CG,
+Chebyshev, CPPCG with matrix powers) run unchanged on decomposed 3D
+problems through :class:`DistributedOperator3D`.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.comm import SerialComm, launch_spmd
+from repro.mesh import (
+    Field3D,
+    Grid3D,
+    HaloExchanger3D,
+    Tile3D,
+    choose_factors_3d,
+    decompose3d,
+)
+from repro.physics import face_coefficients_3d
+from repro.solvers import (
+    DistributedOperator3D,
+    cg_fused_solve,
+    cg_solve,
+    chebyshev_solve,
+    ppcg_solve,
+)
+from repro.solvers.dim3 import StencilOperator3D
+from repro.utils import CommunicationError, ConfigurationError, EventLog
+
+
+def system_3d(n=12, seed=3, rx=0.5):
+    rng = np.random.default_rng(seed)
+    g = Grid3D(n, n, n)
+    kappa = rng.uniform(0.2, 5.0, g.shape)
+    kx, ky, kz = face_coefficients_3d(kappa, rx, rx, rx)
+    bg = rng.standard_normal(g.shape)
+    A = StencilOperator3D(kx=kx, ky=ky, kz=kz).to_sparse()
+    x_ref = spla.spsolve(A.tocsc(), bg.ravel()).reshape(g.shape)
+    return g, (kx, ky, kz), bg, x_ref
+
+
+def run_solver(g, faces, bg, size, solver, halo=1, **kw):
+    kx, ky, kz = faces
+
+    def rank_main(comm):
+        t = decompose3d(g, comm.size)[comm.rank]
+        op = DistributedOperator3D.from_global_faces(t, halo, kx, ky, kz,
+                                                     comm)
+        b = Field3D.from_global(t, halo, bg)
+        return t, solver(op, b, **kw)
+
+    out = launch_spmd(rank_main, size)
+    x = np.zeros(g.shape)
+    for t, res in out:
+        x[t.global_slices] = res.x.interior
+    return x, out[0][1]
+
+
+class TestDecomposition3D:
+    def test_factors_minimise_surface(self):
+        assert choose_factors_3d(8, 64, 64, 64) == (2, 2, 2)
+        px, py, pz = choose_factors_3d(4, 1000, 10, 10)
+        assert px == 4 and py == pz == 1
+
+    def test_partition_covers_grid(self):
+        g = Grid3D(7, 6, 5)
+        for nranks in (1, 2, 4, 6, 8):
+            tiles = decompose3d(g, nranks)
+            total = sum(t.n_cells for t in tiles)
+            assert total == g.n_cells
+
+    def test_neighbor_symmetry(self):
+        tiles = decompose3d(Grid3D(8, 8, 8), 8, factors=(2, 2, 2))
+        for t in tiles:
+            for side, opposite in (("left", "right"), ("down", "up"),
+                                   ("back", "front")):
+                nbr = getattr(t, side)
+                if nbr is not None:
+                    assert getattr(tiles[nbr], opposite) == t.rank
+
+    def test_center_tile_six_neighbors(self):
+        tiles = decompose3d(Grid3D(9, 9, 9), 27, factors=(3, 3, 3))
+        center = tiles[13]
+        assert center.n_neighbors == 6
+        assert tiles[0].n_neighbors == 3
+
+    def test_extension_clipping(self):
+        tiles = decompose3d(Grid3D(8, 8, 8), 8, factors=(2, 2, 2))
+        ext = tiles[0].extension(2)
+        assert ext == {"left": 0, "right": 2, "down": 0, "up": 2,
+                       "back": 0, "front": 2}
+
+    def test_too_many_ranks(self):
+        from repro.utils import DecompositionError
+        with pytest.raises(DecompositionError):
+            decompose3d(Grid3D(2, 2, 2), 16)
+
+
+class TestHalo3D:
+    @pytest.mark.parametrize("size,depth", [(2, 1), (4, 2), (8, 2), (8, 3)])
+    def test_exchange_fills_all_ghosts(self, size, depth):
+        g = Grid3D(12, 12, 12)
+        rng = np.random.default_rng(size * 10 + depth)
+        glob = rng.standard_normal(g.shape)
+
+        def rank_main(comm):
+            t = decompose3d(g, comm.size)[comm.rank]
+            f = Field3D.from_global(t, depth, glob)
+            HaloExchanger3D(comm).exchange(f, depth=depth)
+            ext = t.extension(depth)
+            region = f.region(ext)
+            want = glob[t.z0 - ext["back"]:t.z1 + ext["front"],
+                        t.y0 - ext["down"]:t.y1 + ext["up"],
+                        t.x0 - ext["left"]:t.x1 + ext["right"]]
+            assert np.array_equal(f.data[region], want), comm.rank
+            return True
+
+        assert all(launch_spmd(rank_main, size))
+
+    def test_depth_exceeds_halo(self):
+        t = decompose3d(Grid3D(4, 4, 4), 1)[0]
+        f = Field3D(t, halo=1)
+        with pytest.raises(CommunicationError):
+            HaloExchanger3D(SerialComm()).exchange(f, depth=2)
+
+    def test_event_recorded(self):
+        g = Grid3D(8, 8, 8)
+
+        def rank_main(comm):
+            t = decompose3d(g, comm.size)[comm.rank]
+            f = Field3D(t, 2)
+            log = EventLog()
+            HaloExchanger3D(comm, events=log).exchange(f, depth=2)
+            return log
+
+        log = launch_spmd(rank_main, 2)[0]
+        assert log.count("halo_exchange", 2) == 1
+
+
+class TestOperator3DDistributed:
+    def test_matvec_matches_serial_assembly(self):
+        g, faces, bg, _ = system_3d()
+        kx, ky, kz = faces
+        A = StencilOperator3D(kx=kx, ky=ky, kz=kz).to_sparse()
+        want = (A @ bg.ravel()).reshape(g.shape)
+
+        def rank_main(comm):
+            t = decompose3d(g, comm.size)[comm.rank]
+            op = DistributedOperator3D.from_global_faces(t, 1, kx, ky, kz,
+                                                         comm)
+            p = Field3D.from_global(t, 1, bg)
+            w = op.new_field()
+            op.apply(p, w)
+            assert np.allclose(w.interior, want[t.global_slices], atol=1e-12)
+            return True
+
+        for size in (1, 4, 8):
+            assert all(launch_spmd(rank_main, size))
+
+    def test_diagonal_matches_sparse(self):
+        g, faces, bg, _ = system_3d(8)
+        kx, ky, kz = faces
+        A = StencilOperator3D(kx=kx, ky=ky, kz=kz).to_sparse()
+        t = decompose3d(g, 1)[0]
+        op = DistributedOperator3D.from_global_faces(t, 1, kx, ky, kz,
+                                                     SerialComm())
+        assert np.allclose(op.diagonal().ravel(), A.diagonal())
+
+    def test_diagonal_padded_interior_consistent(self):
+        g, faces, _, _ = system_3d(8)
+        kx, ky, kz = faces
+        t = decompose3d(g, 1)[0]
+        op = DistributedOperator3D.from_global_faces(t, 2, kx, ky, kz,
+                                                     SerialComm())
+        pad = op.diagonal_padded()
+        assert np.allclose(pad[op.kx.region(0)], op.diagonal())
+
+    def test_mismatched_fields_rejected(self):
+        t = decompose3d(Grid3D(4, 4, 4), 1)[0]
+        with pytest.raises(ConfigurationError):
+            DistributedOperator3D(kx=Field3D(t, 1), ky=Field3D(t, 2),
+                                  kz=Field3D(t, 1), comm=SerialComm())
+
+
+class TestSharedSolversIn3D:
+    """The 2D solver implementations, unchanged, on 3D problems."""
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_cg(self, size):
+        g, faces, bg, x_ref = system_3d()
+        x, res = run_solver(g, faces, bg, size, cg_solve, eps=1e-11)
+        assert res.converged
+        assert np.abs(x - x_ref).max() <= 1e-8 * np.abs(x_ref).max()
+
+    @pytest.mark.parametrize("size,depth", [(1, 1), (4, 2), (8, 3)])
+    def test_ppcg_with_3d_matrix_powers(self, size, depth):
+        g, faces, bg, x_ref = system_3d()
+        x, res = run_solver(g, faces, bg, size, ppcg_solve, halo=depth,
+                            eps=1e-11, inner_steps=8, halo_depth=depth,
+                            warmup_iters=10)
+        assert res.converged
+        assert np.abs(x - x_ref).max() <= 1e-8 * np.abs(x_ref).max()
+
+    def test_matrix_powers_depth_invariance_3d(self):
+        g, faces, bg, _ = system_3d()
+        results = {}
+        for depth in (1, 2, 3):
+            _, res = run_solver(g, faces, bg, 8, ppcg_solve, halo=depth,
+                                eps=1e-11, inner_steps=6, halo_depth=depth,
+                                warmup_iters=10)
+            results[depth] = res.iterations
+        assert len(set(results.values())) == 1
+
+    def test_chebyshev(self):
+        g, faces, bg, x_ref = system_3d()
+        x, res = run_solver(g, faces, bg, 4, chebyshev_solve, eps=1e-9,
+                            warmup_iters=15)
+        assert res.converged
+        assert np.abs(x - x_ref).max() <= 1e-5 * np.abs(x_ref).max()
+
+    def test_cg_fused(self):
+        g, faces, bg, x_ref = system_3d()
+        x, res = run_solver(g, faces, bg, 4, cg_fused_solve, eps=1e-11)
+        assert res.converged
+        assert np.abs(x - x_ref).max() <= 1e-8 * np.abs(x_ref).max()
+
+    def test_diagonal_preconditioner_3d(self):
+        from repro.solvers import DiagonalPreconditioner
+        g, faces, bg, x_ref = system_3d()
+        kx, ky, kz = faces
+        t = decompose3d(g, 1)[0]
+        op = DistributedOperator3D.from_global_faces(t, 1, kx, ky, kz,
+                                                     SerialComm())
+        b = Field3D.from_global(t, 1, bg)
+        res = cg_solve(op, b, eps=1e-11,
+                       preconditioner=DiagonalPreconditioner(op))
+        assert res.converged
+        assert np.abs(res.x.interior - x_ref).max() <= \
+            1e-8 * np.abs(x_ref).max()
+
+    def test_block_jacobi_rejected_in_3d(self):
+        from repro.solvers import BlockJacobiPreconditioner
+        g, faces, _, _ = system_3d(6)
+        kx, ky, kz = faces
+        t = decompose3d(g, 1)[0]
+        op = DistributedOperator3D.from_global_faces(t, 1, kx, ky, kz,
+                                                     SerialComm())
+        with pytest.raises(ConfigurationError, match="2D"):
+            BlockJacobiPreconditioner(op)

@@ -1,0 +1,97 @@
+"""Integration: every solver configuration, decomposed == serial.
+
+This is the library's central correctness property — the distributed
+algorithms (halo exchange at any depth, reduction placement, matrix powers,
+truncated preconditioner strips at rank boundaries) must reproduce the
+serial solve to floating-point reassociation tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.solvers import SolverOptions
+
+from tests.helpers import (
+    crooked_pipe_system,
+    distributed_solve,
+    reference_solution,
+)
+
+N = 32
+EPS = 1e-11
+
+
+@pytest.fixture(scope="module")
+def system():
+    g, kx, ky, bg = crooked_pipe_system(N)
+    return g, kx, ky, bg, reference_solution(kx, ky, bg)
+
+
+CONFIGS = [
+    pytest.param(SolverOptions(solver="cg", eps=EPS), id="cg"),
+    pytest.param(SolverOptions(solver="cg", eps=EPS,
+                               preconditioner="diagonal"), id="cg-diag"),
+    pytest.param(SolverOptions(solver="cg", eps=EPS,
+                               preconditioner="block_jacobi"), id="cg-block"),
+    pytest.param(SolverOptions(solver="ppcg", eps=EPS, ppcg_inner_steps=8),
+                 id="ppcg-1"),
+    pytest.param(SolverOptions(solver="ppcg", eps=EPS, ppcg_inner_steps=8,
+                               halo_depth=4), id="ppcg-4"),
+    pytest.param(SolverOptions(solver="ppcg", eps=EPS, ppcg_inner_steps=12,
+                               halo_depth=8), id="ppcg-8"),
+    pytest.param(SolverOptions(solver="ppcg", eps=EPS, ppcg_inner_steps=8,
+                               preconditioner="diagonal", halo_depth=4),
+                 id="ppcg-4-diag"),
+    pytest.param(SolverOptions(solver="ppcg", eps=EPS, ppcg_inner_steps=8,
+                               preconditioner="block_jacobi"),
+                 id="ppcg-1-block"),
+    pytest.param(SolverOptions(solver="chebyshev", eps=1e-9), id="cheby"),
+    pytest.param(SolverOptions(solver="chebyshev", eps=1e-9, halo_depth=4),
+                 id="cheby-4"),
+    pytest.param(SolverOptions(solver="jacobi", eps=1e-8, max_iters=200_000),
+                 id="jacobi"),
+]
+
+
+@pytest.mark.parametrize("options", CONFIGS)
+@pytest.mark.parametrize("size", [2, 4])
+def test_distributed_matches_reference(system, options, size):
+    g, kx, ky, bg, x_ref = system
+    x, result = distributed_solve(g, kx, ky, bg, options, size)
+    assert result.converged
+    scale = np.abs(x_ref).max()
+    tol = 1e-4 if options.solver == "jacobi" else 1e-7
+    assert np.abs(x - x_ref).max() <= tol * scale
+
+
+@pytest.mark.parametrize("size", [3, 6])
+def test_uneven_decompositions(system, size):
+    """Tile sizes that do not divide the mesh evenly still agree."""
+    g, kx, ky, bg, x_ref = system
+    options = SolverOptions(solver="ppcg", eps=EPS, ppcg_inner_steps=8,
+                            halo_depth=4)
+    x, result = distributed_solve(g, kx, ky, bg, options, size)
+    assert result.converged
+    assert np.abs(x - x_ref).max() <= 1e-7 * np.abs(x_ref).max()
+
+
+def test_iteration_counts_decomposition_invariant(system):
+    """Same iterates regardless of rank count (mod FP reassociation)."""
+    g, kx, ky, bg, _ = system
+    options = SolverOptions(solver="cg", eps=EPS)
+    iters = []
+    for size in (1, 2, 4, 6):
+        _, result = distributed_solve(g, kx, ky, bg, options, size)
+        iters.append(result.iterations)
+    assert max(iters) - min(iters) <= 1
+
+
+def test_block_jacobi_truncated_strips_at_rank_boundaries(system):
+    """Rank-local strips change the preconditioner, not the answer."""
+    g, kx, ky, bg, x_ref = system
+    options = SolverOptions(solver="cg", eps=EPS,
+                            preconditioner="block_jacobi")
+    # py=2 splits strips across ranks in y -> truncated strips appear
+    x, result = distributed_solve(g, kx, ky, bg, options, 4)
+    assert result.converged
+    assert np.abs(x - x_ref).max() <= 1e-7 * np.abs(x_ref).max()

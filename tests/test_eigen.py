@@ -1,0 +1,162 @@
+"""Unit tests: Lanczos eigenvalue estimation and the paper's Eqs. 4-7."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Field
+from repro.solvers import (
+    EigenBounds,
+    StencilOperator2D,
+    cg_solve,
+    chebyshev_epsilon,
+    estimate_eigenvalues,
+    iteration_bounds,
+    lanczos_tridiagonal,
+)
+from repro.utils import ConfigurationError
+
+from tests.helpers import crooked_pipe_system, random_spd_faces, serial_operator
+from repro.mesh import Grid2D
+
+
+class TestEigenBounds:
+    def test_derived_quantities(self):
+        b = EigenBounds(1.0, 9.0)
+        assert b.condition_number == 9.0
+        assert b.theta == 5.0
+        assert b.delta == 4.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            EigenBounds(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            EigenBounds(2.0, 1.0)
+
+
+class TestLanczos:
+    def test_single_iteration(self):
+        diag, off = lanczos_tridiagonal([0.5], [])
+        assert diag.tolist() == [2.0]
+        assert off.size == 0
+
+    def test_shapes(self):
+        diag, off = lanczos_tridiagonal([0.5, 0.25, 0.2], [0.1, 0.2, 0.3])
+        assert len(diag) == 3 and len(off) == 2
+
+    def test_known_values(self):
+        diag, off = lanczos_tridiagonal([1.0, 0.5], [0.25])
+        assert diag[0] == pytest.approx(1.0)
+        assert diag[1] == pytest.approx(2.0 + 0.25)
+        assert off[0] == pytest.approx(0.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            lanczos_tridiagonal([], [])
+        with pytest.raises(ConfigurationError):
+            lanczos_tridiagonal([1.0, 1.0], [])  # not enough betas
+        with pytest.raises(ConfigurationError):
+            lanczos_tridiagonal([-1.0], [])
+
+
+class TestEstimateFromRealCG:
+    def test_bounds_bracket_true_spectrum(self, rng):
+        n = 16
+        kx, ky = random_spd_faces(rng, n, n)
+        A = StencilOperator2D.assemble_sparse(kx, ky).toarray()
+        true = np.linalg.eigvalsh(A)
+        op = serial_operator(Grid2D(n, n), kx, ky)
+        b = Field.from_global(op.tile, 1, rng.standard_normal((n, n)))
+        result = cg_solve(op, b, max_iters=40, eps=1e-14)
+        bounds = estimate_eigenvalues(result.alphas, result.betas)
+        # Safety-widened Ritz values must bracket the spectrum closely.
+        assert bounds.lam_min <= true[0] * 1.02
+        assert bounds.lam_max >= true[-1] * 0.98
+
+    def test_ritz_interior_without_safety(self, rng):
+        n = 12
+        kx, ky = random_spd_faces(rng, n, n)
+        A = StencilOperator2D.assemble_sparse(kx, ky).toarray()
+        true = np.linalg.eigvalsh(A)
+        op = serial_operator(Grid2D(n, n), kx, ky)
+        b = Field.from_global(op.tile, 1, rng.standard_normal((n, n)))
+        result = cg_solve(op, b, max_iters=30, eps=1e-14)
+        bounds = estimate_eigenvalues(result.alphas, result.betas,
+                                      safety=(1.0, 1.0))
+        assert bounds.lam_min >= true[0] - 1e-8
+        assert bounds.lam_max <= true[-1] + 1e-8
+
+    def test_crooked_pipe_condition_number(self):
+        g, kx, ky, bg = crooked_pipe_system(32)
+        op = serial_operator(g, kx, ky)
+        b = Field.from_global(op.tile, 1, bg)
+        result = cg_solve(op, b, max_iters=30, eps=1e-14)
+        bounds = estimate_eigenvalues(result.alphas, result.betas)
+        assert bounds.lam_min == pytest.approx(1.0, rel=0.1)
+        assert bounds.condition_number > 10
+
+    def test_invalid_safety(self):
+        with pytest.raises(ConfigurationError):
+            estimate_eigenvalues([1.0], [], safety=(1.2, 1.05))
+
+
+class TestChebyshevEpsilon:
+    def test_degree_zero(self):
+        assert chebyshev_epsilon(0, EigenBounds(1.0, 10.0)) == 1.0
+
+    def test_monotone_decreasing_in_degree(self):
+        b = EigenBounds(1.0, 100.0)
+        eps = [chebyshev_epsilon(m, b) for m in range(0, 30, 3)]
+        assert all(a > c for a, c in zip(eps, eps[1:]))
+
+    def test_tight_spectrum_damps_fast(self):
+        assert chebyshev_epsilon(5, EigenBounds(1.0, 2.0)) < 1e-3
+
+    def test_equal_bounds(self):
+        assert chebyshev_epsilon(3, EigenBounds(2.0, 2.0)) == 0.0
+
+    def test_negative_degree(self):
+        with pytest.raises(ConfigurationError):
+            chebyshev_epsilon(-1, EigenBounds(1.0, 2.0))
+
+
+class TestIterationBounds:
+    def test_dot_reduction_grows_with_inner_steps(self):
+        b = EigenBounds(1.0, 1000.0)
+        r = [iteration_bounds(b, m).dot_reduction for m in (1, 5, 10, 20)]
+        assert all(x < y for x, y in zip(r, r[1:]))
+
+    def test_kappa_pcg_less_than_kappa_cg(self):
+        b = EigenBounds(1.0, 500.0)
+        ib = iteration_bounds(b, 10)
+        assert ib.kappa_pcg < ib.kappa_cg
+        assert ib.k_outer < ib.k_total
+
+    def test_matches_paper_formulas(self):
+        b = EigenBounds(1.0, 100.0)
+        ib = iteration_bounds(b, 4, tolerance=1e-6)
+        eps_m = chebyshev_epsilon(4, b)
+        assert ib.kappa_pcg == pytest.approx((1 + eps_m) / (1 - eps_m))
+        assert ib.k_total == pytest.approx(
+            0.5 * np.sqrt(100.0) * np.log(2e6))
+
+    def test_predicts_real_outer_iteration_drop(self):
+        """The Eq. 6/7 ratio should approximate the measured CG/PPCG ratio."""
+        from repro.solvers import ppcg_solve
+        g, kx, ky, bg = crooked_pipe_system(48)
+        op_cg = serial_operator(g, kx, ky)
+        b1 = Field.from_global(op_cg.tile, 1, bg)
+        cg = cg_solve(op_cg, b1, eps=1e-10)
+        op_pp = serial_operator(g, kx, ky, halo=1)
+        b2 = Field.from_global(op_pp.tile, 1, bg)
+        pp = ppcg_solve(op_pp, b2, eps=1e-10, inner_steps=10)
+        bounds = EigenBounds(*pp.eigen_bounds)
+        predicted = iteration_bounds(bounds, 10, tolerance=1e-10)
+        measured_ratio = cg.iterations / max(pp.iterations, 1)
+        # same order of magnitude (bounds are worst-case, measured is better)
+        assert predicted.dot_reduction == pytest.approx(measured_ratio,
+                                                        rel=0.9)
+        assert measured_ratio > 3
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            iteration_bounds(EigenBounds(1.0, 2.0), 3, tolerance=2.0)

@@ -1,0 +1,107 @@
+"""Unit tests: halo-padded fields."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Field, Grid2D, decompose
+from repro.utils import ConfigurationError
+
+
+def tile_1rank(nx=8, ny=6):
+    return decompose(Grid2D(nx, ny), 1)[0]
+
+
+class TestFieldConstruction:
+    def test_allocates_padded_zeros(self):
+        f = Field(tile_1rank(), halo=2)
+        assert f.data.shape == (6 + 4, 8 + 4)
+        assert np.all(f.data == 0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ConfigurationError):
+            Field(tile_1rank(), halo=2, data=np.zeros((6, 8)))
+
+    def test_rejects_nonpositive_halo(self):
+        with pytest.raises(ConfigurationError):
+            Field(tile_1rank(), halo=0)
+
+    def test_from_global(self):
+        g = Grid2D(8, 6)
+        glob = np.arange(48.0).reshape(6, 8)
+        t = decompose(g, 4)[2]
+        f = Field.from_global(t, 1, glob)
+        assert np.array_equal(f.interior, glob[t.global_slices])
+
+    def test_like_and_copy(self):
+        f = Field(tile_1rank(), halo=3)
+        f.interior[...] = 7.0
+        g = Field.like(f)
+        assert g.halo == 3 and np.all(g.data == 0)
+        c = f.copy()
+        c.interior[...] = 1.0
+        assert np.all(f.interior == 7.0)  # deep copy
+
+
+class TestViews:
+    def test_interior_is_view(self):
+        f = Field(tile_1rank(), halo=1)
+        f.interior[...] = 5.0
+        assert f.data[1:-1, 1:-1].sum() == 5.0 * 48
+        assert f.data[0, :].sum() == 0
+
+    def test_interior_setter_augmented(self):
+        f = Field(tile_1rank(), halo=1)
+        f.interior += 2.0
+        f.interior *= 3.0
+        assert np.all(f.interior == 6.0)
+
+    def test_region_uniform_int(self):
+        g = Grid2D(8, 8)
+        t = decompose(g, 4, factors=(2, 2))[0]  # bottom-left tile
+        f = Field(t, halo=2)
+        rows, cols = f.region(2)
+        # no left/down neighbours -> no extension on those sides
+        assert rows == slice(2, 2 + t.ny + 2)
+        assert cols == slice(2, 2 + t.nx + 2)
+
+    def test_region_dict(self):
+        t = decompose(Grid2D(9, 9), 9, factors=(3, 3))[4]  # center
+        f = Field(t, halo=2)
+        rows, cols = f.region({"left": 1, "right": 2, "down": 0, "up": 2})
+        assert rows == slice(2, 2 + t.ny + 2)
+        assert cols == slice(1, 2 + t.nx + 2)
+
+    def test_region_exceeding_halo_raises(self):
+        t = decompose(Grid2D(9, 9), 9, factors=(3, 3))[4]
+        f = Field(t, halo=2)
+        with pytest.raises(ConfigurationError):
+            f.region(3)
+
+    def test_extended_shape(self):
+        t = decompose(Grid2D(9, 9), 9, factors=(3, 3))[4]
+        f = Field(t, halo=2)
+        assert f.extended(2).shape == (t.ny + 4, t.nx + 4)
+
+
+class TestReductionsAndMutation:
+    def test_local_dot_and_norm(self):
+        f = Field(tile_1rank(4, 4), halo=1)
+        g = Field.like(f)
+        f.interior[...] = 2.0
+        g.interior[...] = 3.0
+        assert f.local_dot(g) == pytest.approx(2 * 3 * 16)
+        assert f.local_norm2() == pytest.approx(4 * 16)
+        assert f.local_sum() == pytest.approx(32)
+
+    def test_halo_excluded_from_reductions(self):
+        f = Field(tile_1rank(4, 4), halo=2)
+        f.data[...] = 1.0
+        assert f.local_sum() == pytest.approx(16)
+
+    def test_fill_and_zero_halos(self):
+        f = Field(tile_1rank(4, 4), halo=1)
+        f.fill(3.0)
+        assert np.all(f.data == 3.0)
+        f.zero_halos()
+        assert np.all(f.interior == 3.0)
+        assert f.data.sum() == pytest.approx(3.0 * 16)

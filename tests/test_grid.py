@@ -1,0 +1,77 @@
+"""Unit tests: Grid2D / Grid3D geometry."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Grid2D, Grid3D
+from repro.utils import ConfigurationError
+
+
+class TestGrid2D:
+    def test_spacing_default_extent(self):
+        g = Grid2D(100, 50)
+        assert g.dx == pytest.approx(0.1)
+        assert g.dy == pytest.approx(0.2)
+        assert g.shape == (50, 100)
+        assert g.n_cells == 5000
+
+    def test_custom_extent(self):
+        g = Grid2D(10, 10, extent=(-1.0, 1.0, 0.0, 4.0))
+        assert g.dx == pytest.approx(0.2)
+        assert g.dy == pytest.approx(0.4)
+
+    def test_cell_centers(self):
+        g = Grid2D(4, 2)
+        X, Y = g.cell_centers()
+        assert X.shape == (2, 4)
+        assert X[0, 0] == pytest.approx(1.25)
+        assert X[0, -1] == pytest.approx(8.75)
+        assert Y[0, 0] == pytest.approx(2.5)
+        assert Y[-1, 0] == pytest.approx(7.5)
+
+    def test_refined_and_coarsened(self):
+        g = Grid2D(8, 8)
+        assert g.refined(2).nx == 16
+        assert g.coarsened(2).nx == 4
+        assert g.refined(2).extent == g.extent
+
+    def test_coarsen_indivisible_raises(self):
+        with pytest.raises(ConfigurationError):
+            Grid2D(9, 8).coarsened(2)
+
+    @pytest.mark.parametrize("nx,ny", [(0, 4), (4, 0), (-1, 4)])
+    def test_invalid_sizes(self, nx, ny):
+        with pytest.raises(ConfigurationError):
+            Grid2D(nx, ny)
+
+    def test_degenerate_extent_raises(self):
+        with pytest.raises(ConfigurationError):
+            Grid2D(4, 4, extent=(0.0, 0.0, 0.0, 1.0))
+
+    def test_frozen(self):
+        g = Grid2D(4, 4)
+        with pytest.raises(AttributeError):
+            g.nx = 8
+
+
+class TestGrid3D:
+    def test_spacing_and_shape(self):
+        g = Grid3D(10, 20, 40)
+        assert g.shape == (40, 20, 10)
+        assert g.dx == pytest.approx(1.0)
+        assert g.dy == pytest.approx(0.5)
+        assert g.dz == pytest.approx(0.25)
+        assert g.n_cells == 8000
+
+    def test_cell_centers_shapes(self):
+        g = Grid3D(3, 4, 5)
+        X, Y, Z = g.cell_centers()
+        assert X.shape == (5, 4, 3)
+        assert np.all(np.diff(X[0, 0]) > 0)
+        assert np.all(np.diff(Z[:, 0, 0]) > 0)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            Grid3D(0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            Grid3D(2, 2, 2, extent=(0, 1, 0, 1, 1, 1))

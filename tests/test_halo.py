@@ -1,0 +1,136 @@
+"""Unit tests: halo exchange (depths, corners, reflection)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SerialComm, launch_spmd
+from repro.mesh import Field, Grid2D, HaloExchanger, decompose
+from repro.mesh.halo import reflect_boundaries
+from repro.utils import CommunicationError, EventLog
+
+
+def exchange_and_check(size, depth, halo, nx=16, ny=12, factors=None):
+    """Exchange depth-`depth` halos and verify every filled ghost cell."""
+    g = Grid2D(nx, ny)
+    glob = np.arange(nx * ny, dtype=float).reshape(ny, nx)
+
+    def rank_main(comm):
+        t = decompose(g, comm.size, factors=factors)[comm.rank]
+        f = Field.from_global(t, halo, glob)
+        HaloExchanger(comm).exchange(f, depth=depth)
+        ext = {s: (depth if n is not None else 0)
+               for s, n in t.neighbors.items()}
+        rows, cols = f.region(ext)
+        expect = glob[t.y0 - ext["down"]:t.y1 + ext["up"],
+                      t.x0 - ext["left"]:t.x1 + ext["right"]]
+        assert np.array_equal(f.data[rows, cols], expect), \
+            f"rank {comm.rank} mismatch"
+        return True
+
+    assert all(launch_spmd(rank_main, size))
+
+
+class TestExchange:
+    @pytest.mark.parametrize("size", [2, 3, 4, 6])
+    def test_depth1(self, size):
+        exchange_and_check(size, depth=1, halo=1)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_deep_halos_with_corners(self, depth):
+        exchange_and_check(4, depth=depth, halo=4, factors=(2, 2))
+
+    def test_depth_smaller_than_halo(self):
+        exchange_and_check(4, depth=2, halo=5, factors=(2, 2))
+
+    def test_nine_rank_center_tile(self):
+        exchange_and_check(9, depth=2, halo=2, nx=18, ny=18, factors=(3, 3))
+
+    def test_serial_noop(self):
+        g = Grid2D(8, 8)
+        t = decompose(g, 1)[0]
+        f = Field.from_global(t, 2, np.ones((8, 8)))
+        HaloExchanger(SerialComm()).exchange(f, depth=2)
+        assert np.all(f.interior == 1.0)
+
+    def test_depth_exceeding_halo_raises(self):
+        g = Grid2D(8, 8)
+        t = decompose(g, 1)[0]
+        f = Field(t, halo=1)
+        with pytest.raises(CommunicationError):
+            HaloExchanger(SerialComm()).exchange(f, depth=2)
+
+    def test_multi_field_exchange_records_one_event(self):
+        g = Grid2D(8, 8)
+
+        def rank_main(comm):
+            t = decompose(g, comm.size)[comm.rank]
+            f1 = Field.from_global(t, 2, np.ones((8, 8)))
+            f2 = Field.from_global(t, 2, np.full((8, 8), 2.0))
+            log = EventLog()
+            HaloExchanger(comm, events=log).exchange([f1, f2], depth=2)
+            return log
+
+        logs = launch_spmd(rank_main, 2)
+        for log in logs:
+            assert log.count("halo_exchange", 2) == 1
+            assert log.total("halo_exchange", "bytes", key=2) > 0
+
+    def test_empty_field_list_noop(self):
+        HaloExchanger(SerialComm()).exchange([], depth=1)
+
+    def test_bytes_accounting_scales_with_depth(self):
+        g = Grid2D(16, 16)
+
+        def rank_main(comm, depth):
+            t = decompose(g, comm.size)[comm.rank]
+            f = Field.from_global(t, 4, np.ones((16, 16)))
+            log = EventLog()
+            HaloExchanger(comm, events=log).exchange(f, depth=depth)
+            return log.total("halo_exchange", "bytes", key=depth)
+
+        b1 = launch_spmd(rank_main, 2, rank_args=[(1,), (1,)])[0]
+        b4 = launch_spmd(rank_main, 2, rank_args=[(4,), (4,)])[0]
+        assert b4 >= 3.9 * b1  # ~4x payload at 4x depth
+
+
+class TestReflectBoundaries:
+    def test_serial_reflection_mirrors_interior(self):
+        g = Grid2D(6, 4)
+        glob = np.arange(24.0).reshape(4, 6)
+        t = decompose(g, 1)[0]
+        f = Field.from_global(t, 2, glob)
+        reflect_boundaries(f)
+        h = f.halo
+        # left halo mirrors the first columns
+        assert np.array_equal(f.data[h:h + 4, h - 1], glob[:, 0])
+        assert np.array_equal(f.data[h:h + 4, h - 2], glob[:, 1])
+        # right halo mirrors the last columns
+        assert np.array_equal(f.data[h:h + 4, h + 6], glob[:, -1])
+        # bottom halo mirrors the first rows
+        assert np.array_equal(f.data[h - 1, h:h + 6], glob[0, :])
+        # top halo mirrors the last rows
+        assert np.array_equal(f.data[h + 4, h:h + 6], glob[-1, :])
+
+    def test_reflection_only_on_physical_sides(self):
+        g = Grid2D(8, 8)
+
+        def rank_main(comm):
+            t = decompose(g, comm.size, factors=(2, 1))[comm.rank]
+            f = Field.from_global(t, 1, np.arange(64.0).reshape(8, 8))
+            HaloExchanger(comm).exchange(f, depth=1)
+            before = f.data.copy()
+            reflect_boundaries(f, depth=1)
+            h = f.halo
+            if t.left is not None:
+                # rank-interior side untouched by reflection
+                assert np.array_equal(f.data[h:h + t.ny, h - 1],
+                                      before[h:h + t.ny, h - 1])
+            return True
+
+        assert all(launch_spmd(rank_main, 2))
+
+    def test_depth_exceeding_halo_raises(self):
+        t = decompose(Grid2D(4, 4), 1)[0]
+        f = Field(t, halo=1)
+        with pytest.raises(CommunicationError):
+            reflect_boundaries(f, depth=2)

@@ -1,0 +1,100 @@
+"""Unit tests: tables, ASCII rendering, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    format_series_table,
+    format_table,
+    load_field_npy,
+    render_heatmap,
+    save_field_csv,
+    save_field_npy,
+)
+from repro.utils import ConfigurationError
+
+
+class TestTables:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["cg", 1.5], ["ppcg", 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.500" in text and "0.250" in text
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_series_table(self):
+        text = format_series_table([1, 2], {"CG": [3.0, 1.5], "PPCG": [2.0, 0.9]})
+        assert "Nodes" in text
+        assert "CG" in text and "PPCG" in text
+        assert "0.90" in text
+
+    def test_series_table_handles_short_series(self):
+        text = format_series_table([1, 2], {"CG": [3.0]})
+        assert "-" in text.splitlines()[-1]
+
+
+class TestHeatmap:
+    def test_shape_and_characters(self):
+        field = np.linspace(0, 1, 64 * 64).reshape(64, 64) + 0.01
+        art = render_heatmap(field, width=32)
+        lines = art.splitlines()
+        assert all(len(line) == 32 for line in lines)
+        assert 10 <= len(lines) <= 20  # ~ half aspect
+
+    def test_hot_region_denser_glyphs(self):
+        from repro.io.ascii_viz import DEFAULT_RAMP
+        field = np.full((40, 40), 0.01)
+        field[30:, :] = 10.0  # hot stripe on top (high y)
+        art = render_heatmap(field, width=40).splitlines()
+        # origin_lower: top rows of output = high y = hot = dense glyphs
+        assert art[0][0] == DEFAULT_RAMP[-1]
+        assert art[-1][0] == DEFAULT_RAMP[0]
+
+    def test_origin_upper(self):
+        from repro.io.ascii_viz import DEFAULT_RAMP
+        field = np.full((40, 40), 0.01)
+        field[30:, :] = 10.0
+        art = render_heatmap(field, width=40, origin_lower=False).splitlines()
+        assert art[-1][0] == DEFAULT_RAMP[-1]
+
+    def test_constant_field(self):
+        art = render_heatmap(np.ones((16, 16)), width=16)
+        assert set("".join(art.splitlines())) == {" "}
+
+    def test_linear_scale(self):
+        field = np.arange(16.0).reshape(4, 4) + 1
+        art = render_heatmap(field, width=4, log_scale=False)
+        assert art  # renders without error
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.zeros(4))
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.zeros((4, 4)), width=0)
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.zeros((4, 4)), ramp="x")
+
+
+class TestSnapshots:
+    def test_npy_roundtrip(self, tmp_path):
+        field = np.random.default_rng(0).standard_normal((8, 8))
+        path = save_field_npy(tmp_path / "field.npy", field)
+        assert np.array_equal(load_field_npy(path), field)
+
+    def test_npy_creates_directories(self, tmp_path):
+        save_field_npy(tmp_path / "a" / "b" / "f.npy", np.ones((2, 2)))
+        assert (tmp_path / "a" / "b" / "f.npy").exists()
+
+    def test_csv_roundtrip(self, tmp_path):
+        field = np.arange(12.0).reshape(3, 4)
+        path = save_field_csv(tmp_path / "f.csv", field)
+        back = np.loadtxt(path, delimiter=",")
+        assert np.allclose(back, field)
+
+    def test_csv_requires_2d(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_field_csv(tmp_path / "f.csv", np.zeros(4))

@@ -1,0 +1,216 @@
+"""Unit tests: the geometric-multigrid baseline (BoomerAMG stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Field, Grid2D
+from repro.multigrid import (
+    MultigridHierarchy,
+    MultigridPreconditioner,
+    build_hierarchy,
+    level_matvec,
+    mgcg_solve,
+    multigrid_solve,
+    prolong_constant,
+    restrict_full_weighting,
+)
+from repro.multigrid.levels import Level, coarsen_level
+from repro.multigrid.smoothers import jacobi_smooth
+from repro.solvers import StencilOperator2D, cg_solve
+from repro.utils import ConfigurationError
+
+from tests.helpers import (
+    crooked_pipe_system,
+    random_spd_faces,
+    reference_solution,
+    serial_operator,
+)
+
+
+class TestLevels:
+    def test_level_matvec_matches_sparse(self, rng):
+        kx, ky = random_spd_faces(rng, 8, 8)
+        A = StencilOperator2D.assemble_sparse(kx, ky)
+        level = Level(kx=kx, ky=ky)
+        x = rng.standard_normal((8, 8))
+        assert np.allclose(level_matvec(level, x).ravel(), A @ x.ravel())
+
+    def test_hierarchy_depth(self, rng):
+        kx, ky = random_spd_faces(rng, 64, 64)
+        levels = build_hierarchy(kx, ky, min_size=4)
+        assert [lv.shape for lv in levels] == [
+            (64, 64), (32, 32), (16, 16), (8, 8), (4, 4)]
+
+    def test_hierarchy_stops_at_odd(self, rng):
+        kx, ky = random_spd_faces(rng, 24, 24)
+        levels = build_hierarchy(kx, ky, min_size=2)
+        # 24 -> 12 -> 6 -> 3 (odd, stop)
+        assert levels[-1].shape == (3, 3)
+
+    def test_coarsen_odd_raises(self, rng):
+        kx, ky = random_spd_faces(rng, 5, 6)
+        with pytest.raises(ConfigurationError):
+            coarsen_level(Level(kx=kx, ky=ky))
+
+    def test_coarse_operator_preserves_constants(self, rng):
+        """Galerkin coarsening keeps A_c * 1 = 1 (insulated boundaries)."""
+        kx, ky = random_spd_faces(rng, 16, 16)
+        coarse = coarsen_level(Level(kx=kx, ky=ky))
+        ones = np.ones(coarse.shape)
+        assert np.allclose(level_matvec(coarse, ones), 1.0, atol=1e-12)
+
+    def test_coarse_faces_zero_on_boundary(self, rng):
+        kx, ky = random_spd_faces(rng, 8, 8)
+        coarse = coarsen_level(Level(kx=kx, ky=ky))
+        assert np.all(coarse.kx[:, 0] == 0) and np.all(coarse.kx[:, -1] == 0)
+        assert np.all(coarse.ky[0, :] == 0) and np.all(coarse.ky[-1, :] == 0)
+
+
+class TestTransfers:
+    def test_restrict_prolong_adjoint(self, rng):
+        """<R u, v>_c * 4 == <u, P v>_f : the transpose pair property."""
+        u = rng.standard_normal((8, 8))
+        v = rng.standard_normal((4, 4))
+        lhs = np.sum(restrict_full_weighting(u) * v)
+        rhs = np.sum(u * prolong_constant(v)) / 4.0
+        assert lhs == pytest.approx(rhs)
+
+    def test_restrict_constant(self):
+        assert np.allclose(restrict_full_weighting(np.full((6, 6), 3.0)), 3.0)
+
+    def test_prolong_constant_values(self):
+        c = np.array([[1.0, 2.0]])
+        f = prolong_constant(c)
+        assert f.shape == (2, 4)
+        assert np.array_equal(f, [[1, 1, 2, 2], [1, 1, 2, 2]])
+
+    def test_restrict_odd_raises(self):
+        with pytest.raises(ConfigurationError):
+            restrict_full_weighting(np.zeros((5, 4)))
+
+
+class TestSmoother:
+    def test_jacobi_smooth_reduces_residual(self, rng):
+        kx, ky = random_spd_faces(rng, 16, 16)
+        level = Level(kx=kx, ky=ky)
+        b = rng.standard_normal((16, 16))
+        u = np.zeros_like(b)
+        r0 = np.linalg.norm(b - level_matvec(level, u))
+        jacobi_smooth(level, u, b, sweeps=5)
+        r1 = np.linalg.norm(b - level_matvec(level, u))
+        assert r1 < r0
+
+    def test_invalid_omega(self, rng):
+        kx, ky = random_spd_faces(rng, 4, 4)
+        with pytest.raises(ConfigurationError):
+            jacobi_smooth(Level(kx=kx, ky=ky), np.zeros((4, 4)),
+                          np.zeros((4, 4)), omega=1.5)
+
+
+class TestVCycle:
+    def test_cycle_contracts_error(self, rng):
+        g, kx, ky, bg = crooked_pipe_system(32)
+        h = MultigridHierarchy.build(kx, ky)
+        x_ref = reference_solution(kx, ky, bg)
+        x = np.zeros_like(bg)
+        errs = []
+        for _ in range(6):
+            from repro.multigrid.levels import level_matvec as mv
+            r = bg - mv(h.levels[0], x)
+            x += h.cycle(r)
+            errs.append(np.linalg.norm(x - x_ref))
+        # geometric-ish convergence of the error
+        assert errs[-1] < errs[0] * 0.2
+
+    def test_coarse_solve_exact(self, rng):
+        kx, ky = random_spd_faces(rng, 8, 8)
+        h = MultigridHierarchy.build(kx, ky, min_size=4)
+        b = rng.standard_normal(h.levels[-1].shape)
+        x = h.coarse_solve(b)
+        assert np.allclose(level_matvec(h.levels[-1], x), b, atol=1e-10)
+
+    def test_single_level_is_direct(self, rng):
+        kx, ky = random_spd_faces(rng, 6, 6)
+        h = MultigridHierarchy.build(kx, ky, min_size=6)
+        assert h.n_levels == 1
+        b = rng.standard_normal((6, 6))
+        x = h.cycle(b)
+        assert np.allclose(level_matvec(h.levels[0], x), b, atol=1e-10)
+
+
+class TestMGCG:
+    def test_converges_fast(self):
+        g, kx, ky, bg = crooked_pipe_system(32)
+        x_ref = reference_solution(kx, ky, bg)
+        op = serial_operator(g, kx, ky)
+        b = Field.from_global(op.tile, 1, bg)
+        result = mgcg_solve(op, b, eps=1e-11)
+        assert result.converged
+        assert np.allclose(result.x.interior, x_ref, atol=1e-7)
+        assert result.n_levels >= 3
+
+    def test_far_fewer_iterations_than_cg(self):
+        """The baseline's low-node-count advantage: tiny iteration counts."""
+        g, kx, ky, bg = crooked_pipe_system(48)
+        op1 = serial_operator(g, kx, ky)
+        b1 = Field.from_global(op1.tile, 1, bg)
+        plain = cg_solve(op1, b1, eps=1e-10)
+        op2 = serial_operator(g, kx, ky)
+        b2 = Field.from_global(op2.tile, 1, bg)
+        mg = mgcg_solve(op2, b2, eps=1e-10)
+        assert mg.iterations < plain.iterations / 4
+
+    def test_iterations_nearly_mesh_independent(self):
+        its = []
+        for n in (16, 32, 64):
+            g, kx, ky, bg = crooked_pipe_system(n)
+            op = serial_operator(g, kx, ky)
+            b = Field.from_global(op.tile, 1, bg)
+            its.append(mgcg_solve(op, b, eps=1e-10).iterations)
+        assert its[-1] <= its[0] * 3  # vs ~4x growth for plain CG
+
+    def test_distributed_rejected(self):
+        """MG-CG is the serial baseline; distributed cost is modelled."""
+        from repro.comm import launch_spmd
+        from repro.mesh import decompose
+        g, kx, ky, bg = crooked_pipe_system(16)
+
+        def rank_main(comm):
+            tile = decompose(g, comm.size)[comm.rank]
+            op = StencilOperator2D.from_global_faces(tile, 1, kx, ky, comm)
+            b = Field.from_global(tile, 1, bg)
+            with pytest.raises(ConfigurationError, match="serial"):
+                mgcg_solve(op, b)
+            return True
+
+        assert all(launch_spmd(rank_main, 2))
+
+    def test_preconditioner_spd(self, rng):
+        """The V-cycle preconditioner must be symmetric for CG validity."""
+        n = 8
+        kx, ky = random_spd_faces(rng, n, n)
+        op = serial_operator(Grid2D(n, n), kx, ky)
+        M = MultigridPreconditioner(op)
+        cells = n * n
+        mat = np.zeros((cells, cells))
+        r, z = op.new_field(), op.new_field()
+        for col in range(cells):
+            e = np.zeros(cells)
+            e[col] = 1.0
+            r.interior[...] = e.reshape(n, n)
+            M.apply(r, z)
+            mat[:, col] = z.interior.ravel()
+        assert np.allclose(mat, mat.T, atol=1e-10)
+        assert np.linalg.eigvalsh(0.5 * (mat + mat.T)).min() > 0
+
+
+class TestStandaloneMG:
+    def test_multigrid_solve(self):
+        g, kx, ky, bg = crooked_pipe_system(32)
+        x_ref = reference_solution(kx, ky, bg)
+        op = serial_operator(g, kx, ky)
+        b = Field.from_global(op.tile, 1, bg)
+        result = multigrid_solve(op, b, eps=1e-10)
+        assert result.converged
+        assert result.solver == "multigrid"
+        assert np.allclose(result.x.interior, x_ref, atol=1e-6)

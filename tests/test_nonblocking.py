@@ -1,0 +1,132 @@
+"""Tests: non-blocking point-to-point and split-phase halo exchange."""
+
+import numpy as np
+import pytest
+
+from repro.comm import SerialComm, launch_spmd
+from repro.comm.base import CompletedRequest
+from repro.mesh import Field, Grid2D, HaloExchanger, decompose
+from repro.utils import CommunicationError, EventLog
+
+
+class TestRequests:
+    def test_isend_completes_immediately(self):
+        def rank_main(comm):
+            peer = 1 - comm.rank
+            req = comm.isend(comm.rank * 10, dest=peer, tag=7)
+            assert req.test()
+            req.wait()
+            return comm.recv(source=peer, tag=7)
+
+        assert launch_spmd(rank_main, 2) == [10, 0]
+
+    def test_irecv_wait(self):
+        def rank_main(comm):
+            peer = 1 - comm.rank
+            req = comm.irecv(source=peer, tag=9)
+            comm.send(f"msg-{comm.rank}", dest=peer, tag=9)
+            return req.wait()
+
+        assert launch_spmd(rank_main, 2) == ["msg-1", "msg-0"]
+
+    def test_irecv_test_polls_without_blocking(self):
+        def rank_main(comm):
+            if comm.rank == 0:
+                req = comm.irecv(source=1, tag=4)
+                first = req.test()  # nothing sent yet (rank 1 is barriered)
+                comm.barrier()      # rank 1 sends before this barrier
+                comm.barrier()
+                while not req.test():
+                    pass
+                return (first, req.wait())
+            comm.send("late", dest=0, tag=4)
+            comm.barrier()
+            comm.barrier()
+            return None
+
+        out = launch_spmd(rank_main, 2)
+        first, value = out[0]
+        assert value == "late"
+
+    def test_wait_idempotent(self):
+        def rank_main(comm):
+            peer = 1 - comm.rank
+            comm.send([1, 2], dest=peer, tag=2)
+            req = comm.irecv(source=peer, tag=2)
+            a = req.wait()
+            b = req.wait()
+            return a is b
+
+        assert all(launch_spmd(rank_main, 2))
+
+    def test_completed_request(self):
+        r = CompletedRequest("x")
+        assert r.test() and r.wait() == "x"
+
+    def test_serial_irecv_raises(self):
+        with pytest.raises(CommunicationError):
+            SerialComm().irecv(source=0)
+
+
+class TestSplitPhaseExchange:
+    def test_matches_blocking_exchange(self):
+        g = Grid2D(16, 12)
+        glob = np.arange(16.0 * 12).reshape(12, 16)
+
+        def rank_main(comm):
+            t = decompose(g, comm.size)[comm.rank]
+            f_block = Field.from_global(t, 2, glob)
+            f_split = Field.from_global(t, 2, glob)
+            ex = HaloExchanger(comm)
+            ex.exchange(f_block, depth=2)
+            pending = ex.begin_exchange(f_split, depth=2)
+            # interior work may proceed here while x-halos are in flight
+            interior_sum = f_split.interior.sum()
+            ex.end_exchange(pending)
+            assert interior_sum == f_split.interior.sum()
+            assert np.array_equal(f_block.data, f_split.data)
+            return True
+
+        for size in (2, 4, 6):
+            assert all(launch_spmd(rank_main, size))
+
+    def test_events_recorded_once(self):
+        g = Grid2D(8, 8)
+
+        def rank_main(comm):
+            t = decompose(g, comm.size)[comm.rank]
+            f = Field.from_global(t, 1, np.ones((8, 8)))
+            log = EventLog()
+            ex = HaloExchanger(comm, events=log)
+            ex.end_exchange(ex.begin_exchange(f, depth=1))
+            return log
+
+        log = launch_spmd(rank_main, 4)[0]
+        assert log.count("halo_exchange", 1) == 1
+
+    def test_depth_guard(self):
+        g = Grid2D(8, 8)
+        t = decompose(g, 1)[0]
+        f = Field(t, 1)
+        ex = HaloExchanger(SerialComm())
+        with pytest.raises(CommunicationError):
+            ex.begin_exchange(f, depth=3)
+
+    def test_multi_field_split(self):
+        g = Grid2D(12, 12)
+        glob = np.arange(144.0).reshape(12, 12)
+
+        def rank_main(comm):
+            t = decompose(g, comm.size)[comm.rank]
+            f1 = Field.from_global(t, 2, glob)
+            f2 = Field.from_global(t, 2, 2 * glob)
+            ex = HaloExchanger(comm)
+            ex.end_exchange(ex.begin_exchange([f1, f2], depth=2))
+            ref1 = Field.from_global(t, 2, glob)
+            ref2 = Field.from_global(t, 2, 2 * glob)
+            HaloExchanger(comm).exchange([ref1, ref2], depth=2)
+            assert np.array_equal(f1.data, ref1.data)
+            assert np.array_equal(f2.data, ref2.data)
+            return True
+
+        assert all(launch_spmd(rank_main, 4))

@@ -1,0 +1,89 @@
+"""Unit tests: iteration-count measurement and extrapolation."""
+
+import pytest
+
+from repro.perfmodel import (
+    IterationModel,
+    SolverConfig,
+    fit_iteration_model,
+    measure_iteration_counts,
+)
+from repro.utils import ConfigurationError
+
+SIZES = (32, 48, 64)
+
+
+class TestMeasurement:
+    def test_cg_counts_grow_with_mesh(self):
+        counts = measure_iteration_counts(SolverConfig("cg"), SIZES)
+        vals = [counts[n] for n in SIZES]
+        assert vals[0] < vals[1] < vals[2]
+
+    def test_ppcg_counts_much_smaller(self):
+        cg = measure_iteration_counts(SolverConfig("cg"), (48,))[48]
+        pp = measure_iteration_counts(
+            SolverConfig("ppcg", inner_steps=10), (48,))[48]
+        assert pp < cg / 4
+
+    def test_mgcg_counts_nearly_flat(self):
+        counts = measure_iteration_counts(SolverConfig("mgcg"), SIZES)
+        assert counts[64] <= counts[32] * 2.5
+
+    def test_measurement_is_cached(self):
+        import time
+        config = SolverConfig("cg")
+        measure_iteration_counts(config, (48,))
+        t0 = time.perf_counter()
+        measure_iteration_counts(config, (48,))
+        assert time.perf_counter() - t0 < 0.05
+
+
+class TestIterationModel:
+    def test_linear_evaluation(self):
+        m = IterationModel(a=10.0, b=2.0, measured=((1, 12),))
+        assert m(100) == 210.0
+
+    def test_floor_at_one(self):
+        m = IterationModel(a=-100.0, b=0.001, measured=((1, 1),))
+        assert m(10) == 1.0
+
+    def test_log_form(self):
+        import math
+        m = IterationModel(a=1.0, b=2.0, measured=((1, 1),), form="log")
+        assert m(math.e ** 3) == pytest.approx(7.0, rel=1e-6)
+
+    def test_rejects_bad_mesh(self):
+        m = IterationModel(a=1.0, b=1.0, measured=((1, 2),))
+        with pytest.raises(ConfigurationError):
+            m(0)
+
+
+class TestFits:
+    def test_cg_fit_is_linear_high_r2(self):
+        """The sqrt(kappa) ~ N law: measured CG counts fit a line in N."""
+        m = fit_iteration_model(SolverConfig("cg"), SIZES)
+        assert m.form == "linear"
+        assert m.r_squared > 0.99
+        assert m.b > 0
+
+    def test_ppcg_fit_smaller_slope(self):
+        cg = fit_iteration_model(SolverConfig("cg"), SIZES)
+        pp = fit_iteration_model(SolverConfig("ppcg", inner_steps=10), SIZES)
+        assert pp.b < cg.b / 3
+
+    def test_mgcg_fit_is_log(self):
+        m = fit_iteration_model(SolverConfig("mgcg"), SIZES)
+        assert m.form == "log"
+        # extrapolation to 4000 stays within multigrid-plausible range
+        assert m(4000) < 200
+
+    def test_extrapolation_consistency(self):
+        """Fit on small sizes predicts a held-out larger size well."""
+        m = fit_iteration_model(SolverConfig("cg"), (32, 48, 64))
+        measured = measure_iteration_counts(SolverConfig("cg"), (96,))[96]
+        assert m(96) == pytest.approx(measured, rel=0.15)
+
+    def test_single_point_fit(self):
+        m = fit_iteration_model(SolverConfig("cg"), (48,))
+        assert m.b == 0.0
+        assert m(1000) == m(48)

@@ -1,0 +1,119 @@
+"""Unit tests: network and node models."""
+
+import math
+
+import pytest
+
+from repro.perfmodel import LinkModel, NetworkModel, Topology
+from repro.perfmodel.machines import MACHINES, PIZ_DAINT, SPRUCE, TITAN, NodeModel
+from repro.utils import ConfigurationError
+
+
+class TestLinkModel:
+    def test_time_formula(self):
+        link = LinkModel(latency=1e-6, bandwidth=1e9)
+        assert link.time(0) == pytest.approx(1e-6)
+        assert link.time(1e6) == pytest.approx(1e-6 + 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkModel(latency=0, bandwidth=1e9)
+        with pytest.raises(ConfigurationError):
+            LinkModel(latency=1e-6, bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            LinkModel(1e-6, 1e9).time(-1)
+
+
+class TestTopology:
+    def test_single_node_no_hops(self):
+        for t in Topology:
+            assert t.average_hops(1) == 0.0
+
+    def test_torus_grows_cube_root(self):
+        h64 = Topology.TORUS_3D.average_hops(64)
+        h4096 = Topology.TORUS_3D.average_hops(4096)
+        assert h4096 / h64 == pytest.approx(4.0)  # (4096/64)^(1/3)
+
+    def test_dragonfly_constant(self):
+        assert Topology.DRAGONFLY.average_hops(16) == \
+            Topology.DRAGONFLY.average_hops(8192)
+
+    def test_fat_tree_logarithmic(self):
+        assert Topology.FAT_TREE.average_hops(1024) == pytest.approx(10.0)
+
+    def test_gemini_worse_than_aries_at_scale(self):
+        """The paper's Titan-vs-Piz-Daint mechanism."""
+        t = TITAN.network.effective_latency(2048)
+        p = PIZ_DAINT.network.effective_latency(2048)
+        assert t > 1.5 * p
+
+
+class TestAllreduce:
+    def test_single_rank_free(self):
+        assert TITAN.network.allreduce_time(1, 1) == 0.0
+
+    def test_logarithmic_growth(self):
+        net = PIZ_DAINT.network
+        t64 = net.allreduce_time(64, 64)
+        t4096 = net.allreduce_time(4096, 2048)
+        # log2: 6 stages vs 12 -> about 2x (hops constant on dragonfly)
+        assert 1.5 < t4096 / t64 < 3.0
+
+    def test_intra_node_stages_cheaper(self):
+        net = SPRUCE.network
+        flat = net.allreduce_time(ranks=1024 * 20, nodes=1024)
+        hybrid = net.allreduce_time(ranks=1024 * 2, nodes=1024)
+        assert flat > hybrid          # more stages
+        assert flat < hybrid * 3.0    # but the extra stages are intra-node
+
+    def test_monotone_in_nodes(self):
+        net = TITAN.network
+        times = [net.allreduce_time(n, n) for n in (2, 16, 128, 1024, 8192)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestNodeModel:
+    def test_kernel_time_bandwidth_bound(self):
+        node = NodeModel(name="x", dram_bandwidth=100e9,
+                         launch_overhead=1e-5)
+        t = node.kernel_time(100e9, working_set=1e12)
+        assert t == pytest.approx(1.0 + 1e-5)
+
+    def test_cache_transition(self):
+        node = SPRUCE.node
+        big = node.effective_bandwidth(1e12)      # DRAM regime
+        small = node.effective_bandwidth(1e3)     # cache resident
+        assert big == node.dram_bandwidth
+        assert small > 3 * big
+
+    def test_no_cache_model_on_gpu(self):
+        assert TITAN.node.effective_bandwidth(1.0) == TITAN.node.dram_bandwidth
+
+    def test_gpu_has_staging_overhead(self):
+        assert TITAN.node.exchange_staging > 0
+        assert SPRUCE.node.exchange_staging == 0.0
+
+
+class TestRegistry:
+    def test_paper_machines_present(self):
+        assert set(MACHINES) == {"Titan", "Piz Daint", "Spruce"}
+
+    def test_table1_node_counts(self):
+        assert TITAN.max_nodes == 8192
+        assert PIZ_DAINT.max_nodes == 2048
+        assert SPRUCE.max_nodes == 1024
+
+    def test_topologies_match_table1(self):
+        assert TITAN.network.topology is Topology.TORUS_3D      # Gemini
+        assert PIZ_DAINT.network.topology is Topology.DRAGONFLY  # Aries
+        assert SPRUCE.network.topology is Topology.FAT_TREE      # ICE-X
+
+    def test_gpu_machines_one_rank_per_node(self):
+        assert TITAN.default_ranks_per_node == 1
+        assert PIZ_DAINT.default_ranks_per_node == 1
+        assert SPRUCE.default_ranks_per_node == 2  # hybrid: per NUMA domain
+
+    def test_with_time_scale(self):
+        m = TITAN.with_time_scale(2.0)
+        assert m.time_scale == 2.0
+        assert m.name == TITAN.name

@@ -1,0 +1,190 @@
+"""Unit tests: the scaling predictor and its paper-shape properties."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    PIZ_DAINT,
+    SPRUCE,
+    TITAN,
+    SolverConfig,
+    predict_scaling,
+    predict_solve_time,
+    scaling_efficiency,
+)
+from repro.perfmodel.efficiency import best_time, speedup
+from repro.utils import ConfigurationError
+
+MESH = 4000
+CG_ITERS = 8500.0
+PPCG_ITERS = 930.0
+MG_ITERS = 50.0
+
+
+def series(machine, config, nodes, iters, rpn=None):
+    return [p.seconds for p in predict_scaling(
+        machine, config, MESH, nodes, outer_iters=iters, n_steps=5,
+        ranks_per_node=rpn)]
+
+
+class TestBasicProperties:
+    def test_breakdown_sums_to_total(self):
+        p = predict_solve_time(TITAN, SolverConfig("cg"), MESH, 64,
+                               outer_iters=CG_ITERS, n_steps=5)
+        assert sum(p.breakdown.values()) == pytest.approx(p.seconds)
+
+    def test_more_iterations_cost_more(self):
+        a = predict_solve_time(TITAN, SolverConfig("cg"), MESH, 64,
+                               outer_iters=1000).seconds
+        b = predict_solve_time(TITAN, SolverConfig("cg"), MESH, 64,
+                               outer_iters=2000).seconds
+        assert b > 1.8 * a
+
+    def test_n_steps_scales_linearly(self):
+        one = predict_solve_time(TITAN, SolverConfig("cg"), MESH, 64,
+                                 outer_iters=1000, n_steps=1).seconds
+        five = predict_solve_time(TITAN, SolverConfig("cg"), MESH, 64,
+                                  outer_iters=1000, n_steps=5).seconds
+        assert five == pytest.approx(5 * one)
+
+    def test_node_limit_enforced(self):
+        with pytest.raises(ConfigurationError):
+            predict_solve_time(PIZ_DAINT, SolverConfig("cg"), MESH, 4096,
+                               outer_iters=100.0)
+
+    def test_too_many_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            predict_solve_time(SPRUCE, SolverConfig("cg"), 16, 1024,
+                               outer_iters=10.0, ranks_per_node=20)
+
+    def test_time_scale_applied(self):
+        base = TITAN.with_time_scale(1.0)
+        doubled = TITAN.with_time_scale(2.0)
+        a = predict_solve_time(base, SolverConfig("cg"), MESH, 64,
+                               outer_iters=100.0).seconds
+        b = predict_solve_time(doubled, SolverConfig("cg"), MESH, 64,
+                               outer_iters=100.0).seconds
+        assert b == pytest.approx(2 * a)
+
+
+class TestPaperShapes:
+    """The qualitative results of Figs. 5-8, asserted on the model."""
+
+    def test_fig5_cg_plateaus_then_degrades(self):
+        nodes = [2 ** i for i in range(14)]
+        t = series(TITAN, SolverConfig("cg"), nodes, CG_ITERS)
+        knee = nodes[int(np.argmin(t))]
+        assert 256 <= knee <= 2048       # paper: ~1024
+        assert t[-1] > min(t)            # adding nodes hurts past the knee
+
+    def test_fig5_ppcg_beats_cg_at_scale(self):
+        nodes = [1024, 4096, 8192]
+        cg = series(TITAN, SolverConfig("cg"), nodes, CG_ITERS)
+        pp = series(TITAN, SolverConfig("ppcg", 10, 16), nodes, PPCG_ITERS)
+        assert all(p < c for p, c in zip(pp, cg))
+        assert cg[-1] / pp[-1] > 2.0
+
+    def test_fig5_deeper_halo_better_on_gpu(self):
+        """Still improving at depth 16 on GPUs (paper §VI)."""
+        t = {d: series(TITAN, SolverConfig("ppcg", 10, d), [8192],
+                       PPCG_ITERS)[0]
+             for d in (1, 4, 8, 16)}
+        assert t[16] < t[8] < t[4] < t[1]
+
+    def test_cpu_halo_depth_plateaus_by_8(self):
+        """On CPUs the benefit plateaus ~8 (redundant work wins, §VI)."""
+        t = {d: series(SPRUCE, SolverConfig("ppcg", 10, d), [512],
+                       PPCG_ITERS, rpn=20)[0]
+             for d in (1, 4, 8, 16)}
+        assert t[16] > min(t[1], t[4], t[8])
+
+    def test_fig6_pizdaint_faster_than_titan_at_2048(self):
+        cfg = SolverConfig("ppcg", 10, 16)
+        t = series(TITAN, cfg, [2048], PPCG_ITERS)[0]
+        p = series(PIZ_DAINT, cfg, [2048], PPCG_ITERS)[0]
+        assert 1.2 < t / p < 1.9   # paper: 47%
+
+    def test_fig7_amg_fastest_at_low_nodes(self):
+        nodes = [1, 2, 4, 8]
+        amg = series(SPRUCE, SolverConfig("mgcg"), nodes, MG_ITERS, rpn=2)
+        pp = series(SPRUCE, SolverConfig("ppcg", 10, 1), nodes, PPCG_ITERS,
+                    rpn=2)
+        assert all(a < p for a, p in zip(amg, pp))
+
+    def test_fig7_amg_hybrid_peaks_early(self):
+        nodes = [2 ** i for i in range(11)]
+        amg = series(SPRUCE, SolverConfig("mgcg"), nodes, MG_ITERS, rpn=2)
+        best = nodes[int(np.argmin(amg))]
+        assert best <= 64                 # paper: 32
+        assert amg[-1] > min(amg) * 1.5   # clearly degrades at 1024
+
+    def test_fig7_cppcg_overtakes_and_keeps_scaling(self):
+        nodes = [2 ** i for i in range(11)]
+        amg = series(SPRUCE, SolverConfig("mgcg"), nodes, MG_ITERS, rpn=20)
+        pp = series(SPRUCE, SolverConfig("ppcg", 10, 1), nodes, PPCG_ITERS,
+                    rpn=20)
+        crossover = next(n for n, a, p in zip(nodes, amg, pp) if p < a)
+        assert 64 <= crossover <= 256     # paper: from 128 onwards
+        assert nodes[int(np.argmin(pp))] >= 512  # paper: peaks at 512+
+
+    def test_fig7_hybrid_close_to_flat_for_ppcg(self):
+        nodes = [64, 256, 1024]
+        hyb = series(SPRUCE, SolverConfig("ppcg", 10, 1), nodes, PPCG_ITERS,
+                     rpn=2)
+        flat = series(SPRUCE, SolverConfig("ppcg", 10, 1), nodes, PPCG_ITERS,
+                      rpn=20)
+        for h, f in zip(hyb, flat):
+            assert 0.5 < h / f < 2.0      # "near identical performance"
+
+    def test_fig8_spruce_superlinear_window(self):
+        nodes = [2 ** i for i in range(11)]
+        t = series(SPRUCE, SolverConfig("ppcg", 10, 1), nodes, PPCG_ITERS,
+                   rpn=20)
+        eff = scaling_efficiency(nodes, t)
+        assert max(eff) > 1.5             # super-linear cache regime
+        assert eff[nodes.index(512)] > 1.0  # sustained through 512
+
+    def test_fig8_gpu_efficiency_decays_monotonically(self):
+        nodes = [2 ** i for i in range(12)]
+        t = series(PIZ_DAINT, SolverConfig("ppcg", 10, 16), nodes, PPCG_ITERS)
+        eff = scaling_efficiency(nodes, t)
+        assert all(a >= b for a, b in zip(eff, eff[1:]))
+
+
+class TestAnchors:
+    """Calibrated absolute values (EXPERIMENTS.md records these)."""
+
+    def test_titan_ppcg16_at_8192(self):
+        t = series(TITAN, SolverConfig("ppcg", 10, 16), [8192], PPCG_ITERS)[0]
+        assert t == pytest.approx(4.26, rel=0.15)
+
+    def test_pizdaint_ppcg16_at_2048(self):
+        t = series(PIZ_DAINT, SolverConfig("ppcg", 10, 16), [2048],
+                   PPCG_ITERS)[0]
+        assert t == pytest.approx(2.79, rel=0.15)
+
+
+class TestEfficiencyHelpers:
+    def test_scaling_efficiency_identity(self):
+        assert scaling_efficiency([1, 2, 4], [8.0, 4.0, 2.0]) == [1.0, 1.0, 1.0]
+
+    def test_superlinear_detection(self):
+        eff = scaling_efficiency([1, 2], [8.0, 3.0])
+        assert eff[1] > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            scaling_efficiency([1, 2], [1.0])
+        with pytest.raises(ConfigurationError):
+            scaling_efficiency([1], [0.0])
+
+    def test_speedup(self):
+        assert speedup([10.0, 5.0, 2.5]) == [1.0, 2.0, 4.0]
+        with pytest.raises(ConfigurationError):
+            speedup([])
+
+    def test_best_time(self):
+        pts = predict_scaling(TITAN, SolverConfig("cg"), MESH,
+                              [64, 512, 4096], outer_iters=CG_ITERS)
+        best = best_time({"CG - 1": pts})["CG - 1"]
+        assert best.seconds == min(p.seconds for p in pts)

@@ -1,0 +1,128 @@
+"""Tests: 3D rank-local coefficients and the distributed 3D driver."""
+
+import numpy as np
+import pytest
+
+from repro.comm import launch_spmd
+from repro.mesh import Field3D, Grid3D, HaloExchanger3D, decompose3d
+from repro.mesh.halo3d import reflect_boundaries_3d
+from repro.physics import face_coefficients_3d
+from repro.physics.conduction import cell_conductivity
+from repro.physics.simulation3d import (
+    Simulation3D,
+    crooked_duct_3d,
+    run_simulation_3d_distributed,
+)
+from repro.physics.state3d import build_coefficient_fields_3d, build_fields_3d
+from repro.utils import CommunicationError, ConfigurationError
+
+
+def density_energy(grid, regions):
+    density = np.empty(grid.shape)
+    energy = np.empty(grid.shape)
+    for region in regions:
+        m = region.mask(grid)
+        density[m] = region.density
+        energy[m] = region.energy
+    return density, energy
+
+
+class TestReflect3D:
+    def test_serial_mirrors_all_faces(self):
+        g = Grid3D(4, 4, 4)
+        rng = np.random.default_rng(0)
+        glob = rng.standard_normal(g.shape)
+        t = decompose3d(g, 1)[0]
+        f = Field3D.from_global(t, 2, glob)
+        reflect_boundaries_3d(f)
+        h = f.halo
+        assert np.array_equal(f.data[h:h + 4, h:h + 4, h - 1],
+                              glob[:, :, 0])
+        assert np.array_equal(f.data[h:h + 4, h:h + 4, h + 4],
+                              glob[:, :, -1])
+        assert np.array_equal(f.data[h - 1, h:h + 4, h:h + 4],
+                              glob[0, :, :])
+        assert np.array_equal(f.data[h + 4, h:h + 4, h:h + 4],
+                              glob[-1, :, :])
+
+    def test_depth_guard(self):
+        t = decompose3d(Grid3D(4, 4, 4), 1)[0]
+        with pytest.raises(CommunicationError):
+            reflect_boundaries_3d(Field3D(t, 1), depth=2)
+
+
+class TestCoefficients3D:
+    def test_matches_global_construction(self):
+        """Rank-local K build == global face_coefficients_3d, all ranks."""
+        g = Grid3D(12, 12, 12)
+        density_g, energy_g = density_energy(g, crooked_duct_3d())
+        rx, ry, rz = 0.9, 0.8, 0.7
+        kappa = cell_conductivity(density_g)
+        kxg, kyg, kzg = face_coefficients_3d(kappa, rx, ry, rz)
+
+        def rank_main(comm):
+            tile = decompose3d(g, comm.size)[comm.rank]
+            fields = build_fields_3d(tile, 2, density_g, energy_g)
+            ex = HaloExchanger3D(comm)
+            kx, ky, kz = build_coefficient_fields_3d(
+                fields["density"], rx, ry, rz, ex)
+            h = kx.halo
+            got = kx.data[h:h + tile.nz, h:h + tile.ny, h:h + tile.nx + 1]
+            want = kxg[tile.z0:tile.z1, tile.y0:tile.y1,
+                       tile.x0:tile.x1 + 1]
+            assert np.allclose(got, want, rtol=1e-12), comm.rank
+            got = kz.data[h:h + tile.nz + 1, h:h + tile.ny, h:h + tile.nx]
+            want = kzg[tile.z0:tile.z1 + 1, tile.y0:tile.y1,
+                       tile.x0:tile.x1]
+            assert np.allclose(got, want, rtol=1e-12), comm.rank
+            return True
+
+        for size in (1, 4, 8):
+            assert all(launch_spmd(rank_main, size))
+
+    def test_bad_mean(self):
+        g = Grid3D(4, 4, 4)
+        density_g, energy_g = density_energy(g, crooked_duct_3d())
+        tile = decompose3d(g, 1)[0]
+        fields = build_fields_3d(tile, 1, density_g, energy_g)
+        from repro.comm import SerialComm
+        with pytest.raises(ConfigurationError):
+            build_coefficient_fields_3d(fields["density"], 1, 1, 1,
+                                        HaloExchanger3D(SerialComm()),
+                                        mean="median")
+
+
+class TestDistributedSimulation3D:
+    @pytest.fixture(scope="class")
+    def serial_ref(self):
+        sim = Simulation3D(Grid3D(12, 12, 12), crooked_duct_3d(),
+                           dt=0.04, eps=1e-11)
+        sim.run(2)
+        return sim.u
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    def test_cg_matches_serial(self, serial_ref, nranks):
+        out = run_simulation_3d_distributed(
+            Grid3D(12, 12, 12), crooked_duct_3d(), n_steps=2,
+            nranks=nranks, eps=1e-11, solver="cg")
+        assert np.abs(out["temperature"] - serial_ref).max() < 1e-10
+
+    def test_ppcg_with_matrix_powers(self, serial_ref):
+        out = run_simulation_3d_distributed(
+            Grid3D(12, 12, 12), crooked_duct_3d(), n_steps=2,
+            nranks=8, eps=1e-11, solver="ppcg", halo_depth=2,
+            inner_steps=8)
+        assert np.abs(out["temperature"] - serial_ref).max() < 1e-10
+
+    def test_energy_conserved(self):
+        g = Grid3D(10, 10, 10)
+        density_g, energy_g = density_energy(g, crooked_duct_3d())
+        u0 = density_g * energy_g
+        out = run_simulation_3d_distributed(
+            g, crooked_duct_3d(), n_steps=3, nranks=4, eps=1e-12)
+        assert out["temperature"].sum() == pytest.approx(u0.sum(), rel=1e-9)
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_simulation_3d_distributed(
+                Grid3D(8, 8, 8), crooked_duct_3d(), solver="jacobi")

@@ -1,0 +1,135 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import Field, Grid2D, Grid3D
+from repro.solvers import cg_fused_solve, cg_solve
+from repro.solvers.deflation import DeflationSpace
+
+from tests.helpers import serial_operator
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+def _random_system(seed, n, scale=1.0):
+    rng = np.random.default_rng(seed)
+    kx = np.zeros((n, n + 1))
+    ky = np.zeros((n + 1, n))
+    kx[:, 1:n] = scale * rng.uniform(0.05, 3.0, size=(n, n - 1))
+    ky[1:n, :] = scale * rng.uniform(0.05, 3.0, size=(n - 1, n))
+    b = rng.standard_normal((n, n))
+    return kx, ky, b
+
+
+class TestFusedCGProperties:
+    @given(seed=st.integers(0, 2 ** 31 - 1), n=st.integers(4, 14),
+           scale=st.floats(0.1, 10.0))
+    @settings(max_examples=25, **COMMON)
+    def test_agrees_with_classic_cg(self, seed, n, scale):
+        kx, ky, bg = _random_system(seed, n, scale)
+        op1 = serial_operator(Grid2D(n, n), kx, ky)
+        b1 = Field.from_global(op1.tile, 1, bg)
+        classic = cg_solve(op1, b1, eps=1e-11)
+        op2 = serial_operator(Grid2D(n, n), kx, ky)
+        b2 = Field.from_global(op2.tile, 1, bg)
+        fused = cg_fused_solve(op2, b2, eps=1e-11)
+        assert classic.converged and fused.converged
+        assert np.allclose(classic.x.interior, fused.x.interior,
+                           atol=1e-8, rtol=1e-7)
+
+    @given(seed=st.integers(0, 2 ** 31 - 1), n=st.integers(4, 12))
+    @settings(max_examples=15, **COMMON)
+    def test_residual_history_decreasing_tail(self, seed, n):
+        kx, ky, bg = _random_system(seed, n)
+        op = serial_operator(Grid2D(n, n), kx, ky)
+        b = Field.from_global(op.tile, 1, bg)
+        result = cg_fused_solve(op, b, eps=1e-10)
+        assert result.history[-1] <= result.history[0]
+
+
+class TestDeflationProperties:
+    @given(seed=st.integers(0, 2 ** 31 - 1), n=st.sampled_from([8, 12, 16]),
+           q=st.sampled_from([1, 2, 4]))
+    @settings(max_examples=15, **COMMON)
+    def test_projector_idempotent(self, seed, n, q):
+        """P^2 = P on arbitrary vectors."""
+        kx, ky, bg = _random_system(seed, n)
+        op = serial_operator(Grid2D(n, n), kx, ky)
+        space = DeflationSpace(op, (n, n), blocks=(q, q))
+        v = Field.from_global(op.tile, 1, bg)
+        space.project(v)
+        once = v.interior.copy()
+        space.project(v)
+        assert np.allclose(v.interior, once, atol=1e-9)
+
+    @given(seed=st.integers(0, 2 ** 31 - 1), n=st.sampled_from([8, 12]),
+           q=st.sampled_from([2, 4]))
+    @settings(max_examples=15, **COMMON)
+    def test_coarse_residual_zero_after_projection(self, seed, n, q):
+        """W^T (P v) = 0: projected vectors have no coarse component."""
+        kx, ky, bg = _random_system(seed, n)
+        op = serial_operator(Grid2D(n, n), kx, ky)
+        space = DeflationSpace(op, (n, n), blocks=(q, q))
+        v = Field.from_global(op.tile, 1, bg)
+        space.project(v)
+        assert np.abs(space.wt(v)).max() < 1e-8 * max(np.abs(bg).max(), 1.0)
+
+
+class TestVTKProperties:
+    @given(
+        seed=st.integers(0, 2 ** 31 - 1),
+        nx=st.integers(1, 10),
+        ny=st.integers(1, 10),
+        n_fields=st.integers(1, 3),
+    )
+    @settings(max_examples=20, **COMMON)
+    def test_roundtrip_2d(self, tmp_path_factory, seed, nx, ny, n_fields):
+        from repro.io.vtk import read_vtk, write_vtk
+        rng = np.random.default_rng(seed)
+        grid = Grid2D(nx, ny)
+        fields = {f"f{i}": rng.standard_normal(grid.shape)
+                  for i in range(n_fields)}
+        path = tmp_path_factory.mktemp("vtk") / "f.vtk"
+        write_vtk(path, grid, fields)
+        shape, back = read_vtk(path)
+        assert shape == grid.shape
+        for name, arr in fields.items():
+            assert np.allclose(back[name], arr, rtol=1e-9)
+
+    @given(seed=st.integers(0, 2 ** 31 - 1),
+           dims=st.tuples(st.integers(1, 5), st.integers(1, 5),
+                          st.integers(2, 5)))
+    @settings(max_examples=10, **COMMON)
+    def test_roundtrip_3d(self, tmp_path_factory, seed, dims):
+        from repro.io.vtk import read_vtk, write_vtk
+        rng = np.random.default_rng(seed)
+        nx, ny, nz = dims
+        grid = Grid3D(nx, ny, nz)
+        T = rng.standard_normal(grid.shape)
+        path = tmp_path_factory.mktemp("vtk3") / "f.vtk"
+        write_vtk(path, grid, {"T": T})
+        shape, back = read_vtk(path)
+        assert shape == grid.shape
+        assert np.allclose(back["T"], T, rtol=1e-9)
+
+
+class TestSensitivityProperties:
+    @given(factor=st.floats(0.1, 10.0),
+           knob=st.sampled_from(["network_latency", "network_bandwidth",
+                                 "node_bandwidth", "launch_overhead"]))
+    @settings(max_examples=30, **COMMON)
+    def test_scaling_roundtrip(self, factor, knob):
+        from repro.perfmodel import TITAN
+        from repro.perfmodel.sensitivity import scaled_machine
+        back = scaled_machine(scaled_machine(TITAN, knob, factor),
+                              knob, 1.0 / factor)
+        assert back.network.inter_node.latency == pytest.approx(
+            TITAN.network.inter_node.latency)
+        assert back.node.dram_bandwidth == pytest.approx(
+            TITAN.node.dram_bandwidth)
+        assert back.node.launch_overhead == pytest.approx(
+            TITAN.node.launch_overhead)

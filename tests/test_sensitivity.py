@@ -1,0 +1,97 @@
+"""Tests: the machine-knob sensitivity analysis."""
+
+import pytest
+
+from repro.perfmodel import SPRUCE, TITAN, SolverConfig
+from repro.perfmodel.sensitivity import (
+    KNOBS,
+    scaled_machine,
+    sensitivities,
+    sweep_knob,
+)
+from repro.utils import ConfigurationError
+
+CG = SolverConfig("cg")
+PPCG16 = SolverConfig("ppcg", inner_steps=10, halo_depth=16)
+
+
+class TestScaledMachine:
+    def test_identity_factor(self):
+        m = scaled_machine(TITAN, "network_latency", 1.0)
+        assert m.network.inter_node.latency == \
+            TITAN.network.inter_node.latency
+
+    def test_each_knob_scales_its_target(self):
+        m = scaled_machine(TITAN, "network_latency", 2.0)
+        assert m.network.inter_node.latency == pytest.approx(
+            2 * TITAN.network.inter_node.latency)
+        m = scaled_machine(TITAN, "network_bandwidth", 2.0)
+        assert m.network.inter_node.bandwidth == pytest.approx(
+            2 * TITAN.network.inter_node.bandwidth)
+        m = scaled_machine(TITAN, "node_bandwidth", 0.5)
+        assert m.node.dram_bandwidth == pytest.approx(
+            0.5 * TITAN.node.dram_bandwidth)
+        m = scaled_machine(TITAN, "launch_overhead", 3.0)
+        assert m.node.launch_overhead == pytest.approx(
+            3 * TITAN.node.launch_overhead)
+
+    def test_originals_untouched(self):
+        before = TITAN.network.inter_node.latency
+        scaled_machine(TITAN, "network_latency", 10.0)
+        assert TITAN.network.inter_node.latency == before
+
+    def test_unknown_knob(self):
+        with pytest.raises(ConfigurationError):
+            scaled_machine(TITAN, "cooling", 2.0)
+
+    def test_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            scaled_machine(TITAN, "network_latency", 0.0)
+
+
+class TestSweeps:
+    def test_latency_sweep_monotone(self):
+        pts = sweep_knob(TITAN, CG, "network_latency", (0.5, 1.0, 2.0, 4.0),
+                         nodes=2048, outer_iters=8000)
+        secs = [p.seconds for p in pts]
+        assert all(a <= b for a, b in zip(secs, secs[1:]))
+
+    def test_bandwidth_sweep_monotone_decreasing(self):
+        pts = sweep_knob(TITAN, CG, "node_bandwidth", (0.5, 1.0, 2.0),
+                         nodes=4, outer_iters=8000)
+        secs = [p.seconds for p in pts]
+        assert all(a >= b for a, b in zip(secs, secs[1:]))
+
+
+class TestBindingConstraints:
+    """The analysis must recover the paper's strong-scaling diagnoses."""
+
+    def test_cg_at_scale_is_latency_bound_on_titan(self):
+        s = sensitivities(TITAN, CG, nodes=8192, outer_iters=8556.0)
+        assert s["network_latency"] > s["node_bandwidth"]
+        assert s["network_latency"] > s["network_bandwidth"]
+
+    def test_cppcg_at_scale_is_launch_bound_on_titan(self):
+        """CPPCG removed the reductions; the kernel-launch floor remains."""
+        s = sensitivities(TITAN, PPCG16, nodes=8192, outer_iters=934.0)
+        assert s["launch_overhead"] == max(s.values())
+
+    def test_cppcg_less_latency_sensitive_than_cg(self):
+        s_cg = sensitivities(TITAN, CG, nodes=8192, outer_iters=8556.0)
+        s_pp = sensitivities(TITAN, PPCG16, nodes=8192, outer_iters=934.0)
+        assert s_pp["network_latency"] < s_cg["network_latency"]
+
+    def test_single_node_is_bandwidth_bound(self):
+        s = sensitivities(TITAN, CG, nodes=1, outer_iters=8556.0)
+        assert s["node_bandwidth"] == max(s.values())
+        assert s["network_latency"] == pytest.approx(1.0)
+
+    def test_spruce_midrange_bandwidth_bound(self):
+        s = sensitivities(SPRUCE, CG, nodes=16, outer_iters=8556.0,
+                          ranks_per_node=20)
+        assert s["node_bandwidth"] > 1.5
+
+    def test_all_knobs_covered(self):
+        s = sensitivities(TITAN, CG, nodes=64, outer_iters=1000.0)
+        assert set(s) == set(KNOBS)
+        assert all(v >= 0.99 for v in s.values())

@@ -1,0 +1,154 @@
+"""Unit tests: utils (events, timing, validation, errors)."""
+
+import time
+
+import pytest
+
+from repro.utils import (
+    ConfigurationError,
+    ConvergenceError,
+    EventLog,
+    ReproError,
+    Timer,
+    check_in,
+    check_positive,
+    check_type,
+    require,
+)
+
+
+class TestEventLog:
+    def test_record_and_count(self):
+        log = EventLog()
+        log.record("halo_exchange", 4, bytes=128)
+        log.record("halo_exchange", 4, bytes=64)
+        log.record("halo_exchange", 1)
+        assert log.count("halo_exchange", 4) == 2
+        assert log.count("halo_exchange", 1) == 1
+        assert log.count_kind("halo_exchange") == 3
+
+    def test_record_n(self):
+        log = EventLog()
+        log.record("matvec", n=5, cells=500)
+        assert log.count("matvec") == 5
+        assert log.total("matvec", "cells") == 500
+
+    def test_total_by_key_and_kind(self):
+        log = EventLog()
+        log.record("halo_exchange", 1, bytes=100)
+        log.record("halo_exchange", 8, bytes=900)
+        assert log.total("halo_exchange", "bytes", key=1) == 100
+        assert log.total("halo_exchange", "bytes", key=8) == 900
+        assert log.total("halo_exchange", "bytes") == 1000
+
+    def test_total_missing_is_zero(self):
+        log = EventLog()
+        assert log.total("nothing", "bytes") == 0.0
+        assert log.count("nothing") == 0
+
+    def test_keys_for(self):
+        log = EventLog()
+        log.record("halo_exchange", 8)
+        log.record("halo_exchange", 1)
+        log.record("other", None)
+        assert log.keys_for("halo_exchange") == [1, 8]
+        assert log.keys_for("other") == [None]
+
+    def test_merge(self):
+        a, b = EventLog(), EventLog()
+        a.record("x", None, bytes=1)
+        b.record("x", None, bytes=2)
+        b.record("y", None)
+        a.merge(b)
+        assert a.count("x") == 2
+        assert a.total("x", "bytes") == 3
+        assert a.count("y") == 1
+
+    def test_merged_static(self):
+        logs = [EventLog() for _ in range(3)]
+        for i, log in enumerate(logs):
+            log.record("k", None, n=i + 1)
+        merged = EventLog.merged(logs)
+        assert merged.count("k") == 6
+
+    def test_clear(self):
+        log = EventLog()
+        log.record("x", None, bytes=5)
+        log.clear()
+        assert log.count("x") == 0
+        assert log.total("x", "bytes") == 0
+
+    def test_as_dict_snapshot(self):
+        log = EventLog()
+        log.record("x", 1)
+        d = log.as_dict()
+        assert d[("x", 1)] == 1
+        log.record("x", 1)
+        assert d[("x", 1)] == 1  # snapshot, not a view
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        first = t.elapsed
+        assert first >= 0.005
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed > first
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        t.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never")
+
+    def test_require_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="boom"):
+            require(False, "boom")
+
+    def test_check_positive(self):
+        assert check_positive("x", 2) == 2
+        with pytest.raises(ConfigurationError):
+            check_positive("x", 0)
+        assert check_positive("x", 0, allow_zero=True) == 0
+        with pytest.raises(ConfigurationError):
+            check_positive("x", -1, allow_zero=True)
+
+    def test_check_in(self):
+        assert check_in("x", "a", ("a", "b")) == "a"
+        with pytest.raises(ConfigurationError, match="must be one of"):
+            check_in("x", "c", ("a", "b"))
+
+    def test_check_type(self):
+        assert check_type("x", 1, int) == 1
+        with pytest.raises(ConfigurationError):
+            check_type("x", "s", int)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(ConvergenceError, RuntimeError)
+
+    def test_convergence_error_carries_result(self):
+        err = ConvergenceError("failed", result="partial")
+        assert err.result == "partial"
