@@ -1,26 +1,46 @@
 # Developer convenience targets.
+#
+# Every target that runs repo code sets PYTHONPATH=src so a plain checkout
+# works without `pip install -e .` (matching the tier-1 verify command in
+# ROADMAP.md).
 PYTHON ?= python
+PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench report figures examples clean
+.PHONY: install test bench report figures examples lint verify-contracts clean
 
 install:
 	pip install -e .
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest tests/
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 report:
-	$(PYTHON) -m repro.cli.main report --out results
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main report --out results
 
 examples:
-	$(PYTHON) examples/quickstart.py
-	$(PYTHON) examples/solver_comparison.py 64
-	$(PYTHON) examples/deck_driven.py
-	$(PYTHON) examples/communication_avoiding.py
-	$(PYTHON) examples/scaling_study.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/quickstart.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/solver_comparison.py 64
+	$(PYTHONPATH_SRC) $(PYTHON) examples/deck_driven.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/communication_avoiding.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/scaling_study.py
+
+# Static analysis: the comm-contract linter (rules RPR0xx, see
+# docs/analysis.md) always runs; ruff/mypy run when installed
+# (`pip install -e .[dev]` — unavailable offline).
+lint:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis
+	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks; \
+	else echo "ruff not installed; skipped (pip install -e .[dev])"; fi
+	@if command -v mypy >/dev/null 2>&1; then mypy; \
+	else echo "mypy not installed; skipped (pip install -e .[dev])"; fi
+
+# Dynamic contract verification: run each solver under InstrumentedComm and
+# cross-check measured per-iteration comm counts against its COMM_CONTRACT.
+verify-contracts:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis --verify-only
 
 clean:
 	rm -rf results .pytest_cache src/repro.egg-info

@@ -1,0 +1,53 @@
+"""Custom static analysis for the repro codebase.
+
+The paper's central claim is a *communication budget* per solver iteration
+(CG: 1 halo exchange + 2 allreduces; fused CG: 1 + 1; CPPCG: reductions
+pushed out of the inner iterations entirely).  This package makes those
+budgets machine-checked invariants instead of docstring prose:
+
+- every solver module declares a machine-readable ``COMM_CONTRACT``;
+- an AST pass walks the solver's iteration loop, counts reachable
+  communication call sites (following calls into the
+  :mod:`repro.solvers.operator` helpers one level deep) and fails when the
+  static counts exceed the declared contract (rules ``RPR001``-``RPR003``,
+  ``RPR008``);
+- supporting hygiene rules catch allocations inside hot loops, precision
+  drift, mutable default arguments and bare ``except:`` clauses
+  (``RPR004``-``RPR007``);
+- a ``--verify`` mode runs a small crooked-pipe solve per solver under
+  :class:`~repro.comm.instrument.InstrumentedComm` and cross-checks the
+  *measured* per-iteration reduction/halo counts against each contract, so
+  the contracts can never drift from reality.
+
+Run it with ``python -m repro.analysis [paths]`` (or ``make lint``); see
+``docs/analysis.md`` for the rule catalogue and the contract schema.
+"""
+
+from repro.analysis.core import (
+    AnalysisResult,
+    Finding,
+    ModuleContext,
+    all_rules,
+    analyze_paths,
+)
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.contracts import (
+    CONTRACT_NAME,
+    extract_contract,
+    validate_contract,
+)
+from repro.analysis.verify import VerifyReport, verify_contracts
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "CONTRACT_NAME",
+    "Finding",
+    "ModuleContext",
+    "VerifyReport",
+    "all_rules",
+    "analyze_paths",
+    "extract_contract",
+    "validate_contract",
+    "verify_contracts",
+]

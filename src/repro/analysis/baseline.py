@@ -1,0 +1,43 @@
+"""Baseline (suppression) file handling.
+
+The baseline is a checked-in JSON file of finding fingerprints.  Findings
+whose fingerprint appears in it are reported as *baselined* and do not
+fail the run — this lets a rule land before every historical violation is
+fixed, while still failing on anything new.  Fingerprints are
+line-number-independent (``CODE:path:symbol:occurrence``), so unrelated
+edits don't churn the file.  The shipped tree is clean: the initial
+baseline is empty, and any future entry is a visible, diffable debt.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.core import Finding, fingerprints
+
+FORMAT_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    """Fingerprints from a baseline file (empty set when absent)."""
+    path = Path(path)
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text())
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"malformed baseline file {path}")
+    return set(data["findings"])
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
+    """Write the fingerprints of ``findings``; returns how many."""
+    prints = sorted(fingerprints(list(findings)).values())
+    payload = {
+        "version": FORMAT_VERSION,
+        "tool": "repro.analysis",
+        "findings": prints,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(prints)

@@ -1,0 +1,68 @@
+"""Analyzer configuration, read from ``[tool.repro-analysis]`` in pyproject.
+
+All knobs have in-code defaults so the analyzer runs on any tree without a
+config file (the test-suite exercises it on synthetic temp directories).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Receiver names whose method calls the cost model ignores: preconditioner
+#: applications are accounted separately from the iteration budget (the
+#: paper's budgets are for the un-preconditioned iteration skeleton).
+DEFAULT_IGNORE_RECEIVERS = frozenset(
+    {"M", "local_M", "cheby", "precond", "preconditioner", "_inner"})
+
+#: Path globs (posix, matched against the file path) that mark *solver*
+#: modules — only these are required to carry a ``COMM_CONTRACT``.
+DEFAULT_SOLVER_GLOBS = ("*/solvers/*.py",)
+
+
+@dataclass
+class AnalysisConfig:
+    """Resolved analyzer settings."""
+
+    paths: tuple[str, ...] = ("src/repro",)
+    baseline: str = "analysis-baseline.json"
+    solver_globs: tuple[str, ...] = DEFAULT_SOLVER_GLOBS
+    disable: tuple[str, ...] = ()
+    select: tuple[str, ...] = ()
+    ignore_receivers: frozenset[str] = DEFAULT_IGNORE_RECEIVERS
+    require_dtype: bool = False
+    root: Path = field(default_factory=Path.cwd)
+
+    def rule_enabled(self, code: str) -> bool:
+        if self.select:
+            return code in self.select
+        return code not in self.disable
+
+    def is_solver_path(self, path: Path) -> bool:
+        posix = path.as_posix()
+        return any(fnmatch.fnmatch(posix, g) for g in self.solver_globs)
+
+    @classmethod
+    def from_pyproject(cls, root: Path | None = None) -> "AnalysisConfig":
+        """Load config from ``<root>/pyproject.toml`` (defaults if absent)."""
+        root = Path(root) if root is not None else Path.cwd()
+        pyproject = root / "pyproject.toml"
+        table: dict = {}
+        if pyproject.is_file():
+            with open(pyproject, "rb") as fh:
+                data = tomllib.load(fh)
+            table = data.get("tool", {}).get("repro-analysis", {})
+        return cls(
+            paths=tuple(table.get("paths", ("src/repro",))),
+            baseline=table.get("baseline", "analysis-baseline.json"),
+            solver_globs=tuple(
+                table.get("solver-paths", DEFAULT_SOLVER_GLOBS)),
+            disable=tuple(table.get("disable", ())),
+            select=tuple(table.get("select", ())),
+            ignore_receivers=frozenset(
+                table.get("ignore-receivers", DEFAULT_IGNORE_RECEIVERS)),
+            require_dtype=bool(table.get("require-dtype", False)),
+            root=root,
+        )

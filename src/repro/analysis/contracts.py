@@ -1,0 +1,238 @@
+"""The ``COMM_CONTRACT`` schema and the comm-contract rules.
+
+Every solver module (a module under ``solvers/`` defining a public
+``*_solve`` function) must declare a module-level literal dict::
+
+    COMM_CONTRACT = {
+        "solver": "cg",                  # name used by the driver/registry
+        "halo_exchanges_per_iter": 1,    # neighbour exchanges per iteration
+        "allreduces_per_iter": 2,        # global reductions per iteration
+        "halo_depth": 1,                 # default exchange depth
+    }
+
+Optional keys refine the budget:
+
+- ``hot_function`` — where the iteration loop lives (``"func"`` or
+  ``"Class.method"``); defaults to ``"<solver>_solve"``.  Explicitly
+  ``None`` skips the static loop check (use with ``delegates_to``).
+- ``delegates_to`` — dotted module whose iteration loop carries this
+  solver's budget (CPPCG's outer loop *is* ``cg_solve``).
+- ``allreduces_per_check`` — reductions paid once per convergence-check
+  interval rather than per iteration (Chebyshev).
+- ``halo_exchanges_per_inner_step`` — exchanges per preconditioner inner
+  step at depth 1 (CPPCG); amortised by the matrix-powers depth.
+- ``notes`` — free-form string.
+
+Rules:
+
+- ``RPR001`` — solver module missing a ``COMM_CONTRACT``;
+- ``RPR002`` — static allreduce count in the iteration loop exceeds the
+  contract (or communication appears inside a nested loop: unbounded);
+- ``RPR003`` — static halo-exchange count exceeds the contract;
+- ``RPR008`` — malformed contract (bad literal, schema violation, hot
+  function or iteration loop not found).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    register,
+)
+from repro.analysis.costmodel import (
+    CommCost,
+    ModuleCostModel,
+    find_iteration_loops,
+    operator_table_for,
+)
+
+CONTRACT_NAME = "COMM_CONTRACT"
+
+REQUIRED_KEYS: dict[str, type | tuple] = {
+    "solver": str,
+    "halo_exchanges_per_iter": (int, float),
+    "allreduces_per_iter": (int, float),
+    "halo_depth": int,
+}
+OPTIONAL_KEYS: dict[str, type | tuple] = {
+    "hot_function": (str, type(None)),
+    "delegates_to": str,
+    "allreduces_per_check": (int, float),
+    "halo_exchanges_per_inner_step": (int, float),
+    "notes": str,
+}
+
+
+def extract_contract(tree: ast.Module) -> tuple[dict | None, int, str | None]:
+    """Statically read ``COMM_CONTRACT`` from a module AST.
+
+    Returns ``(contract, lineno, error)``; the contract is ``None`` when
+    the assignment is absent or not a pure literal (``error`` says why).
+    """
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == CONTRACT_NAME
+                   for t in targets):
+            continue
+        try:
+            value = ast.literal_eval(node.value)
+        except (ValueError, SyntaxError):
+            return None, node.lineno, (
+                f"{CONTRACT_NAME} must be a pure literal dict "
+                "(statically evaluable)")
+        if not isinstance(value, dict):
+            return None, node.lineno, f"{CONTRACT_NAME} must be a dict"
+        return value, node.lineno, None
+    return None, 1, None
+
+
+def validate_contract(contract: dict) -> list[str]:
+    """Schema-check a contract; returns a list of problems (empty = ok)."""
+    problems = []
+    for key, typ in REQUIRED_KEYS.items():
+        if key not in contract:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(contract[key], typ) or isinstance(
+                contract[key], bool):
+            problems.append(f"key {key!r} must be {_typename(typ)}, "
+                            f"got {contract[key]!r}")
+    for key, value in contract.items():
+        if key in REQUIRED_KEYS:
+            continue
+        if key not in OPTIONAL_KEYS:
+            problems.append(f"unknown key {key!r}")
+        elif not isinstance(value, OPTIONAL_KEYS[key]):
+            problems.append(f"key {key!r} must be "
+                            f"{_typename(OPTIONAL_KEYS[key])}, got {value!r}")
+    for key in ("halo_exchanges_per_iter", "allreduces_per_iter",
+                "allreduces_per_check", "halo_exchanges_per_inner_step"):
+        if isinstance(contract.get(key), (int, float)) and contract[key] < 0:
+            problems.append(f"key {key!r} must be >= 0")
+    if isinstance(contract.get("halo_depth"), int) and contract["halo_depth"] < 1:
+        problems.append("key 'halo_depth' must be >= 1")
+    return problems
+
+
+def _typename(typ) -> str:
+    if isinstance(typ, tuple):
+        return "/".join(t.__name__ for t in typ)
+    return typ.__name__
+
+
+def find_function(tree: ast.Module,
+                  qualname: str) -> tuple[ast.FunctionDef | None, str]:
+    """Locate ``"func"`` or ``"Class.method"``; returns (node, class name)."""
+    if "." in qualname:
+        cls_name, meth = qualname.split(".", 1)
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == cls_name:
+                for sub in node.body:
+                    if isinstance(sub, ast.FunctionDef) and sub.name == meth:
+                        return sub, cls_name
+        return None, cls_name
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == qualname:
+            return node, ""
+    return None, ""
+
+
+@register
+class CommContractRule(Rule):
+    code = "RPR001"
+    name = "comm-contract"
+    description = ("solver modules must declare a COMM_CONTRACT, and the "
+                   "iteration loop's static communication counts must not "
+                   "exceed it (RPR002 allreduces, RPR003 halo exchanges, "
+                   "RPR008 malformed contract)")
+    solver_only = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        contract, lineno, error = extract_contract(ctx.tree)
+        if error is not None:
+            yield ctx.finding("RPR008", error, line=lineno,
+                              symbol=CONTRACT_NAME)
+            return
+        if contract is None:
+            yield ctx.finding(
+                "RPR001",
+                f"solver module defines a public *_solve function but no "
+                f"{CONTRACT_NAME}; declare its per-iteration communication "
+                "budget (see docs/analysis.md)",
+                line=1, symbol=ctx.path.stem)
+            return
+        problems = validate_contract(contract)
+        for p in problems:
+            yield ctx.finding("RPR008", f"invalid {CONTRACT_NAME}: {p}",
+                              line=lineno, symbol=CONTRACT_NAME)
+        if problems:
+            return
+        yield from self._check_budget(ctx, contract, lineno)
+
+    def _check_budget(self, ctx: ModuleContext, contract: dict,
+                      lineno: int) -> Iterator[Finding]:
+        hot = contract.get("hot_function",
+                           f"{contract['solver']}_solve")
+        if hot is None or "delegates_to" in contract:
+            return  # budget enforced in the delegate module / dynamically
+        fn, cls_name = find_function(ctx.tree, hot)
+        if fn is None:
+            yield ctx.finding(
+                "RPR008",
+                f"hot_function {hot!r} not found in module", line=lineno,
+                symbol=CONTRACT_NAME)
+            return
+        loops = find_iteration_loops(fn)
+        if not loops:
+            yield ctx.finding(
+                "RPR008",
+                f"hot_function {hot!r} contains no iteration loop",
+                line=fn.lineno, symbol=hot)
+            return
+        model = ModuleCostModel(
+            ctx.tree,
+            operator_table=operator_table_for(ctx.path),
+            ignore_receivers=ctx.config.ignore_receivers)
+        loop, cost = max(
+            ((lp, model.body_cost(lp.body, cls_name)
+              + model.body_cost(lp.orelse, cls_name)) for lp in loops),
+            key=lambda pair: (pair[1].unbounded,
+                              pair[1].allreduces + pair[1].halos))
+        budget_ar = contract["allreduces_per_iter"]
+        budget_halo = contract["halo_exchanges_per_iter"]
+        if cost.unbounded:
+            yield ctx.finding(
+                "RPR002",
+                "communication call inside a nested loop within the "
+                "iteration loop: per-iteration cost is statically "
+                "unbounded (hoist it or declare a hot_function closer "
+                "to the real hot loop)",
+                line=loop.lineno, symbol=hot)
+            return
+        if cost.allreduces > budget_ar:
+            yield ctx.finding(
+                "RPR002",
+                f"iteration loop of {hot} reaches {_fmt(cost.allreduces)} "
+                f"allreduce(s) per iteration, exceeding the declared "
+                f"allreduces_per_iter = {budget_ar} — every extra global "
+                "reduction invalidates the paper's scaling budget",
+                line=loop.lineno, symbol=hot)
+        if cost.halos > budget_halo:
+            yield ctx.finding(
+                "RPR003",
+                f"iteration loop of {hot} reaches {_fmt(cost.halos)} halo "
+                f"exchange(s) per iteration, exceeding the declared "
+                f"halo_exchanges_per_iter = {budget_halo}",
+                line=loop.lineno, symbol=hot)
+
+
+def _fmt(x: float) -> str:
+    return str(int(x)) if float(x).is_integer() else f"{x:g}"

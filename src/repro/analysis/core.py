@@ -1,0 +1,238 @@
+"""Rule framework and analysis engine.
+
+A *rule* is a class with a stable error code (``RPR0xx``), registered in
+:data:`RULE_REGISTRY`; the engine parses each file once into a
+:class:`ModuleContext` and hands it to every enabled rule.  Findings can be
+silenced inline (``# repro: ignore[RPR004]`` on the offending line) or via
+the checked-in baseline file (see :mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.config import AnalysisConfig
+
+#: Code used for files the analyzer itself cannot process (syntax errors).
+PARSE_ERROR_CODE = "RPR000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer diagnostic, anchored to a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    symbol: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+        }
+
+
+def fingerprints(findings: Iterable[Finding]) -> dict[Finding, str]:
+    """Stable, line-number-independent identity for baselining.
+
+    ``CODE:path:symbol:<occurrence>`` — the occurrence index disambiguates
+    repeated findings of the same code within one symbol, while staying
+    stable under unrelated edits that only shift line numbers.
+    """
+    seen: dict[tuple, int] = {}
+    out: dict[Finding, str] = {}
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code)):
+        key = (f.code, f.path, f.symbol)
+        n = seen.get(key, 0)
+        seen[key] = n + 1
+        out[f] = f"{f.code}:{f.path}:{f.symbol or '-'}:{n}"
+    return out
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs about one parsed source file."""
+
+    path: Path
+    display_path: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    config: AnalysisConfig
+    is_solver_module: bool
+
+    def finding(self, code: str, message: str, node: ast.AST | None = None,
+                symbol: str = "", line: int | None = None) -> Finding:
+        if line is None:
+            line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(code=code, message=message, path=self.display_path,
+                       line=line, col=col, symbol=symbol)
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``name``/``description`` and
+    implement :meth:`check`."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+    #: Rules with ``solver_only`` True run only on solver modules.
+    solver_only: bool = False
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+RULE_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by its ``code``) to the registry."""
+    if not rule_cls.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule_cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    RULE_REGISTRY[rule_cls.code] = rule_cls()
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by code (imports rule modules on demand)."""
+    _load_builtin_rules()
+    return [RULE_REGISTRY[c] for c in sorted(RULE_REGISTRY)]
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily to avoid an import cycle (rule modules import core).
+    from repro.analysis import contracts, rules  # noqa: F401
+
+
+def public_solve_functions(tree: ast.Module) -> list[ast.FunctionDef]:
+    """Top-level public ``*_solve`` functions — the solver-module marker."""
+    return [
+        node for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+        and node.name.endswith("_solve")
+        and not node.name.startswith("_")
+    ]
+
+
+def build_context(path: Path, config: AnalysisConfig,
+                  display_path: str | None = None) -> ModuleContext | Finding:
+    """Parse one file; returns a context, or a parse-error finding."""
+    display = display_path if display_path is not None else _display(path, config)
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        return Finding(code=PARSE_ERROR_CODE, message=f"cannot analyze: {exc}",
+                       path=display, line=getattr(exc, "lineno", 1) or 1)
+    is_solver = (config.is_solver_path(path)
+                 and bool(public_solve_functions(tree)))
+    return ModuleContext(path=path, display_path=display, source=source,
+                         lines=source.splitlines(), tree=tree, config=config,
+                         is_solver_module=is_solver)
+
+
+def _display(path: Path, config: AnalysisConfig) -> str:
+    try:
+        return path.resolve().relative_to(config.root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    out: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+    return out
+
+
+_SUPPRESS_MARK = "# repro: ignore"
+
+
+def _suppressed(finding: Finding, lines: list[str]) -> bool:
+    """True when the finding's line carries a matching inline suppression."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    line = lines[finding.line - 1]
+    idx = line.find(_SUPPRESS_MARK)
+    if idx < 0:
+        return False
+    rest = line[idx + len(_SUPPRESS_MARK):].strip()
+    if rest.startswith("["):
+        codes = rest[1:rest.index("]")] if "]" in rest else rest[1:]
+        return finding.code in {c.strip() for c in codes.split(",")}
+    return True  # blanket "# repro: ignore"
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one engine run over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def all_raw(self) -> list[Finding]:
+        return self.findings + self.baselined + self.suppressed
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    config: AnalysisConfig | None = None,
+    baseline: set[str] | None = None,
+    rule_filter: Callable[[Rule], bool] | None = None,
+) -> AnalysisResult:
+    """Run every enabled rule over all ``.py`` files under ``paths``."""
+    config = config if config is not None else AnalysisConfig()
+    rules = [r for r in all_rules()
+             if config.rule_enabled(r.code)
+             and (rule_filter is None or rule_filter(r))]
+    result = AnalysisResult()
+    collected: list[tuple[Finding, list[str]]] = []
+    for path in iter_python_files(paths):
+        ctx = build_context(path, config)
+        if isinstance(ctx, Finding):
+            collected.append((ctx, []))
+            continue
+        result.files_checked += 1
+        for rule in rules:
+            if rule.solver_only and not ctx.is_solver_module:
+                continue
+            for f in rule.check(ctx):
+                collected.append((f, ctx.lines))
+
+    prints = fingerprints([f for f, _ in collected])
+    for f, lines in sorted(collected,
+                           key=lambda p: (p[0].path, p[0].line, p[0].code)):
+        if _suppressed(f, lines):
+            result.suppressed.append(f)
+        elif baseline and prints[f] in baseline:
+            result.baselined.append(f)
+        else:
+            result.findings.append(f)
+    return result

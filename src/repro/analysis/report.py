@@ -1,0 +1,65 @@
+"""Text and JSON reporters for analysis and verify results."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import AnalysisResult, fingerprints
+
+
+def render_text(result: AnalysisResult) -> str:
+    """Human-readable report, one ``path:line:col CODE message`` per line."""
+    out = []
+    for f in result.findings:
+        out.append(f"{f.location()}: {f.code} {f.message}")
+    summary = (f"{len(result.findings)} finding(s) "
+               f"in {result.files_checked} file(s)")
+    extras = []
+    if result.baselined:
+        extras.append(f"{len(result.baselined)} baselined")
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed inline")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    out.append(summary)
+    return "\n".join(out)
+
+
+def render_json(result: AnalysisResult,
+                verify_reports: list | None = None) -> str:
+    """Machine-readable report (``--format json``), diffable across PRs."""
+    prints = fingerprints(result.all_raw())
+    payload = {
+        "version": 1,
+        "tool": "repro.analysis",
+        "files_checked": result.files_checked,
+        "findings": [
+            {**f.as_dict(), "fingerprint": prints[f]}
+            for f in result.findings
+        ],
+        "baselined": [prints[f] for f in result.baselined],
+        "suppressed": [prints[f] for f in result.suppressed],
+        "ok": result.ok,
+    }
+    if verify_reports is not None:
+        payload["verify"] = [r.as_dict() for r in verify_reports]
+        payload["ok"] = payload["ok"] and all(r.ok for r in verify_reports)
+    return json.dumps(payload, indent=2)
+
+
+def render_verify_text(reports: list) -> str:
+    """One line per verified solver configuration."""
+    out = []
+    for r in reports:
+        status = "ok" if r.ok else "FAIL"
+        out.append(
+            f"[{status}] {r.name}: measured "
+            f"{r.measured_allreduces:g} allreduce(s) + "
+            f"{r.measured_halos:g} halo exchange(s) per iteration "
+            f"(expected {r.expected_allreduces:g} + {r.expected_halos:g}"
+            f" from {r.module}.COMM_CONTRACT"
+            f"{', ' + r.detail if r.detail else ''})")
+    bad = sum(1 for r in reports if not r.ok)
+    out.append(f"verify: {len(reports) - bad}/{len(reports)} solver "
+               "configuration(s) match their contracts")
+    return "\n".join(out)

@@ -1,0 +1,174 @@
+"""Generic hygiene rules (RPR004-RPR007).
+
+These ride in the same framework as the comm-contract checker:
+
+- ``RPR004`` — array allocation inside an iteration loop of a solver
+  module (``np.zeros``/``np.empty``/``.copy()``/``op.new_field()`` in a
+  hot loop churns the allocator and pollutes timing measurements; all
+  solver workspaces are pre-allocated before the loop);
+- ``RPR005`` — precision drift: ``float32``/``float16`` dtypes anywhere in
+  the analyzed tree (all kernels are double precision, matching TeaLeaf);
+  optionally (``require-dtype = true``) also dtype-less ``np.empty`` /
+  ``np.zeros`` /... construction in solver modules;
+- ``RPR006`` — mutable default argument;
+- ``RPR007`` — bare ``except:``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.costmodel import dotted_parts
+
+#: ``np.<name>`` calls that allocate a fresh array.
+NUMPY_ALLOCATORS = frozenset({
+    "zeros", "empty", "ones", "full",
+    "zeros_like", "empty_like", "ones_like", "full_like",
+    "array", "copy",
+})
+#: Method names that allocate regardless of receiver.
+ALLOC_METHODS = frozenset({"copy", "new_field"})
+
+
+def _functions(tree: ast.Module):
+    """All (qualname, FunctionDef) pairs in a module, including methods."""
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            for sub in node.body:
+                if isinstance(sub, ast.FunctionDef):
+                    yield f"{node.name}.{sub.name}", sub
+
+
+def _loops_in(fn: ast.FunctionDef):
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.While, ast.For)):
+            yield node
+
+
+@register
+class AllocationInHotLoopRule(Rule):
+    code = "RPR004"
+    name = "no-alloc-in-hot-loop"
+    description = ("no array allocation (np.zeros/np.empty/.copy()/"
+                   "new_field) inside iteration loops of solver modules")
+    solver_only = True
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for qualname, fn in _functions(ctx.tree):
+            for loop in _loops_in(fn):
+                for node in ast.walk(loop):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    alloc = self._allocation_name(node)
+                    if alloc is not None:
+                        yield ctx.finding(
+                            self.code,
+                            f"allocation {alloc}() inside the iteration "
+                            f"loop of {qualname}; pre-allocate the "
+                            "workspace before the loop",
+                            node=node, symbol=qualname)
+
+    @staticmethod
+    def _allocation_name(call: ast.Call) -> str | None:
+        parts = dotted_parts(call.func)
+        if parts is None or len(parts) < 2:
+            return None
+        name = parts[-1]
+        if parts[-2] in {"np", "numpy"} and name in NUMPY_ALLOCATORS:
+            return f"{parts[-2]}.{name}"
+        if name in ALLOC_METHODS:
+            return ".".join(parts[-2:])
+        return None
+
+
+#: Single-precision dtype spellings RPR005 rejects.
+_DRIFT_ATTRS = frozenset({"float32", "float16", "single", "half"})
+_DRIFT_STRINGS = frozenset({"float32", "float16", "f4", "f2", "<f4", "<f2"})
+
+
+@register
+class DtypeDriftRule(Rule):
+    code = "RPR005"
+    name = "dtype-drift"
+    description = ("kernels are double precision: no float32/float16 "
+                   "dtypes (and, with require-dtype, no dtype-less array "
+                   "construction in solver modules)")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Attribute)
+                    and node.attr in _DRIFT_ATTRS
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in {"np", "numpy"}):
+                yield ctx.finding(
+                    self.code,
+                    f"single-precision dtype np.{node.attr}: kernels are "
+                    "float64 (TeaLeaf is double precision throughout)",
+                    node=node)
+            elif (isinstance(node, ast.keyword) and node.arg == "dtype"
+                    and isinstance(node.value, ast.Constant)
+                    and node.value.value in _DRIFT_STRINGS):
+                yield ctx.finding(
+                    self.code,
+                    f"single-precision dtype {node.value.value!r}: kernels "
+                    "are float64",
+                    node=node.value)
+        if ctx.config.require_dtype and ctx.is_solver_module:
+            yield from self._check_dtype_less(ctx)
+
+    def _check_dtype_less(self, ctx: ModuleContext) -> Iterator[Finding]:
+        sized = {"zeros", "empty", "ones", "full"}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = dotted_parts(node.func)
+            if (parts and len(parts) >= 2 and parts[-2] in {"np", "numpy"}
+                    and parts[-1] in sized
+                    and not any(k.arg == "dtype" for k in node.keywords)):
+                yield ctx.finding(
+                    self.code,
+                    f"dtype-less np.{parts[-1]}() in a solver module; pass "
+                    "dtype=np.float64 explicitly",
+                    node=node)
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "RPR006"
+    name = "mutable-default"
+    description = "no mutable default arguments (list/dict/set literals)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for qualname, fn in _functions(ctx.tree):
+            defaults = list(fn.args.defaults) + [
+                d for d in fn.args.kw_defaults if d is not None]
+            for d in defaults:
+                if isinstance(d, (ast.List, ast.Dict, ast.Set)) or (
+                        isinstance(d, ast.Call)
+                        and isinstance(d.func, ast.Name)
+                        and d.func.id in {"list", "dict", "set"}):
+                    yield ctx.finding(
+                        self.code,
+                        f"mutable default argument in {qualname}; default "
+                        "to None and create the object in the body",
+                        node=d, symbol=qualname)
+
+
+@register
+class BareExceptRule(Rule):
+    code = "RPR007"
+    name = "no-bare-except"
+    description = "no bare except: clauses (they swallow KeyboardInterrupt)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self.code,
+                    "bare except: catches SystemExit/KeyboardInterrupt; "
+                    "name the exception type",
+                    node=node)

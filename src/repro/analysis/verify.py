@@ -1,0 +1,253 @@
+"""Dynamic contract verification (``python -m repro.analysis --verify``).
+
+Bridges the static contracts to reality: each solver runs a small
+crooked-pipe solve under :class:`~repro.comm.instrument.InstrumentedComm`,
+and the *measured* per-iteration reduction/halo-exchange counts from the
+:class:`~repro.utils.events.EventLog` are cross-checked against the
+module's ``COMM_CONTRACT``.
+
+Methodology: per solver configuration we run the same problem twice with
+different iteration budgets (``eps`` is set unreachably tight so neither
+run converges), wrap each solve in an
+:class:`~repro.comm.instrument.EventWindow`, and difference the two
+windows.  Setup communication (initial residual, warm-up CG, deflation
+coarse assembly, ...) is identical in both runs and cancels exactly, so
+the quotient is the steady-state per-iteration cost — compared against
+the contract's declared budget to a 1e-9 tolerance (the counts are exact
+small rationals).
+
+Expected values are derived from the contract plus the run parameters:
+
+- matvec solvers: the declared budget verbatim;
+- Chebyshev: ``allreduces_per_check / check_interval`` reductions and
+  ``halo_exchanges_per_iter / halo_depth`` exchanges per step (the matrix
+  powers kernel amortises one deep exchange over ``halo_depth`` steps);
+- CPPCG: ``halo_exchanges_per_iter + ceil(inner_steps / halo_depth) *
+  halo_exchanges_per_inner_step`` exchanges per outer iteration.
+"""
+
+from __future__ import annotations
+
+import importlib
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+#: Relative tolerance unreachable in float64 — the solve never converges,
+#: so ``result.iterations`` equals the requested budget.
+EPS_NEVER = 1e-300
+
+#: Comparison tolerance for measured-vs-expected per-iteration counts
+#: (both sides are exact small rationals; this only absorbs float division).
+TOLERANCE = 1e-9
+
+
+@dataclass
+class VerifyReport:
+    """Measured vs declared per-iteration communication for one solver."""
+
+    name: str
+    module: str
+    iterations: int
+    measured_allreduces: float
+    measured_halos: float
+    expected_allreduces: float
+    expected_halos: float
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return (abs(self.measured_allreduces - self.expected_allreduces)
+                <= TOLERANCE
+                and abs(self.measured_halos - self.expected_halos)
+                <= TOLERANCE)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "module": self.module,
+            "iterations": self.iterations,
+            "measured": {"allreduces_per_iter": self.measured_allreduces,
+                         "halo_exchanges_per_iter": self.measured_halos},
+            "expected": {"allreduces_per_iter": self.expected_allreduces,
+                         "halo_exchanges_per_iter": self.expected_halos},
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class VerifySpec:
+    """One solver configuration to measure."""
+
+    name: str
+    module: str           # dotted module whose COMM_CONTRACT applies
+    halo: int             # field halo depth the run needs
+    iters: tuple[int, int]  # the two iteration budgets to difference
+    run: Callable         # (op, b, bounds, max_iters) -> SolveResult
+    expected: Callable    # (contract) -> (allreduces, halos) per iteration
+    detail: str = ""
+
+
+def _gershgorin_lam_max(kxg, kyg) -> float:
+    """Safe upper eigenvalue bound of ``A = I + D`` (row-sum bound).
+
+    Overestimating ``lam_max`` keeps Chebyshev stable (just slower), which
+    is what the verifier wants: a fixed number of non-converging steps.
+    """
+    return 1.0 + 4.0 * (float(kxg.max()) + float(kyg.max()))
+
+
+def default_specs() -> list[VerifySpec]:
+    """The shipped solver configurations to verify."""
+    from repro.solvers import (
+        cg_fused_solve,
+        cg_solve,
+        chebyshev_solve,
+        deflated_cg_solve,
+        jacobi_solve,
+        ppcg_solve,
+    )
+
+    def per_iter(contract):
+        return (contract["allreduces_per_iter"],
+                contract["halo_exchanges_per_iter"])
+
+    def cheby_expected(depth):
+        def expected(contract):
+            ar = (contract["allreduces_per_iter"]
+                  + contract.get("allreduces_per_check", 0) / 10)
+            return ar, contract["halo_exchanges_per_iter"] / depth
+        return expected
+
+    def ppcg_expected(inner, depth):
+        def expected(contract):
+            halos = (contract["halo_exchanges_per_iter"]
+                     + math.ceil(inner / depth)
+                     * contract.get("halo_exchanges_per_inner_step", 0))
+            return contract["allreduces_per_iter"], halos
+        return expected
+
+    return [
+        VerifySpec(
+            "cg", "repro.solvers.cg", halo=1, iters=(4, 12),
+            run=lambda op, b, bounds, k: cg_solve(
+                op, b, eps=EPS_NEVER, max_iters=k),
+            expected=per_iter),
+        VerifySpec(
+            "cg_fused", "repro.solvers.cg_fused", halo=1, iters=(4, 12),
+            run=lambda op, b, bounds, k: cg_fused_solve(
+                op, b, eps=EPS_NEVER, max_iters=k),
+            expected=per_iter),
+        VerifySpec(
+            "jacobi", "repro.solvers.jacobi", halo=1, iters=(5, 15),
+            run=lambda op, b, bounds, k: jacobi_solve(
+                op, b, eps=EPS_NEVER, max_iters=k),
+            expected=per_iter),
+        VerifySpec(
+            "chebyshev", "repro.solvers.chebyshev", halo=1, iters=(20, 60),
+            run=lambda op, b, bounds, k: chebyshev_solve(
+                op, b, eps=EPS_NEVER, max_iters=k, warmup_iters=8,
+                check_interval=10, bounds=bounds),
+            expected=cheby_expected(depth=1),
+            detail="check_interval=10"),
+        VerifySpec(
+            "chebyshev[depth=4]", "repro.solvers.chebyshev", halo=4,
+            iters=(20, 60),
+            run=lambda op, b, bounds, k: chebyshev_solve(
+                op, b, eps=EPS_NEVER, max_iters=k, warmup_iters=8,
+                check_interval=10, halo_depth=4, bounds=bounds),
+            expected=cheby_expected(depth=4),
+            detail="matrix powers, check_interval=10"),
+        VerifySpec(
+            "ppcg", "repro.solvers.ppcg", halo=1, iters=(3, 9),
+            run=lambda op, b, bounds, k: ppcg_solve(
+                op, b, eps=EPS_NEVER, max_iters=k, inner_steps=4,
+                warmup_iters=8, bounds=bounds),
+            expected=ppcg_expected(inner=4, depth=1),
+            detail="inner_steps=4"),
+        VerifySpec(
+            "ppcg[depth=4]", "repro.solvers.ppcg", halo=4, iters=(3, 9),
+            run=lambda op, b, bounds, k: ppcg_solve(
+                op, b, eps=EPS_NEVER, max_iters=k, inner_steps=8,
+                halo_depth=4, warmup_iters=8, bounds=bounds),
+            expected=ppcg_expected(inner=8, depth=4),
+            detail="matrix powers, inner_steps=8"),
+        VerifySpec(
+            "dcg", "repro.solvers.deflation", halo=1, iters=(4, 12),
+            run=lambda op, b, bounds, k: deflated_cg_solve(
+                op, b, eps=EPS_NEVER, max_iters=k, blocks=(2, 2)),
+            expected=per_iter),
+    ]
+
+
+def _measure(spec: VerifySpec, n: int) -> tuple[float, float, int]:
+    """Per-iteration (allreduces, halos) for one spec via window deltas."""
+    from repro.comm import EventWindow, InstrumentedComm, SerialComm
+    from repro.mesh import Field, decompose
+    from repro.solvers import StencilOperator2D
+    from repro.solvers.eigen import EigenBounds
+    from repro.testing import crooked_pipe_system
+    from repro.utils import EventLog
+
+    grid, kxg, kyg, bg = crooked_pipe_system(n)
+    bounds = EigenBounds(1.0, _gershgorin_lam_max(kxg, kyg))
+
+    def one_run(max_iters: int) -> tuple[int, int, int]:
+        log = EventLog()
+        comm = InstrumentedComm(SerialComm(), log)
+        tile = decompose(grid, 1)[0]
+        op = StencilOperator2D.from_global_faces(
+            tile, spec.halo, kxg, kyg, comm, events=log)
+        b = Field.from_global(tile, spec.halo, bg)
+        with EventWindow(log) as w:
+            result = spec.run(op, b, bounds, max_iters)
+        return (w.count_kind("allreduce"), w.count_kind("halo_exchange"),
+                result.iterations)
+
+    ar1, halo1, it1 = one_run(spec.iters[0])
+    ar2, halo2, it2 = one_run(spec.iters[1])
+    d_iter = it2 - it1
+    if d_iter <= 0:
+        raise RuntimeError(
+            f"verify[{spec.name}]: iteration counts did not increase "
+            f"({it1} -> {it2}); cannot difference runs")
+    return (ar2 - ar1) / d_iter, (halo2 - halo1) / d_iter, d_iter
+
+
+def verify_contracts(n: int = 32,
+                     specs: list[VerifySpec] | None = None,
+                     names: list[str] | None = None) -> list[VerifyReport]:
+    """Measure every solver configuration against its ``COMM_CONTRACT``."""
+    from repro.analysis.contracts import validate_contract
+
+    specs = specs if specs is not None else default_specs()
+    if names:
+        known = {s.name for s in specs} | {s.name.split("[")[0] for s in specs}
+        unknown = sorted(set(names) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown solver name(s) {unknown}; "
+                f"known: {sorted(known)}")
+        specs = [s for s in specs
+                 if s.name in names or s.name.split("[")[0] in names]
+    reports = []
+    for spec in specs:
+        module = importlib.import_module(spec.module)
+        contract = getattr(module, "COMM_CONTRACT", None)
+        if contract is None or validate_contract(contract):
+            reports.append(VerifyReport(
+                name=spec.name, module=spec.module, iterations=0,
+                measured_allreduces=math.nan, measured_halos=math.nan,
+                expected_allreduces=math.nan, expected_halos=math.nan,
+                detail="missing or invalid COMM_CONTRACT"))
+            continue
+        measured_ar, measured_halo, d_iter = _measure(spec, n)
+        expected_ar, expected_halo = spec.expected(contract)
+        reports.append(VerifyReport(
+            name=spec.name, module=spec.module, iterations=d_iter,
+            measured_allreduces=measured_ar, measured_halos=measured_halo,
+            expected_allreduces=float(expected_ar),
+            expected_halos=float(expected_halo),
+            detail=spec.detail))
+    return reports

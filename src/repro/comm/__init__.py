@@ -20,7 +20,7 @@ mpi4py-flavoured API:
 from repro.comm.base import Communicator, REDUCE_OPS
 from repro.comm.serial import SerialComm
 from repro.comm.threaded import ThreadComm, ThreadWorld
-from repro.comm.instrument import InstrumentedComm
+from repro.comm.instrument import EventWindow, InstrumentedComm
 from repro.comm.spmd import launch_spmd
 
 __all__ = [
@@ -29,6 +29,7 @@ __all__ = [
     "SerialComm",
     "ThreadComm",
     "ThreadWorld",
+    "EventWindow",
     "InstrumentedComm",
     "launch_spmd",
 ]

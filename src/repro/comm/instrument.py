@@ -9,8 +9,81 @@ behaviour, so the same solver code runs instrumented or not.
 
 from __future__ import annotations
 
+from collections import Counter
+
 from repro.comm.base import Communicator, payload_bytes
 from repro.utils.events import EventLog
+
+
+class EventWindow:
+    """Delta view over an :class:`EventLog` between two instants.
+
+    Opening a window snapshots the log's counters; every query then
+    reports only what was recorded *since* — closing (or leaving the
+    ``with`` block) freezes the deltas.  This is how the contract verifier
+    (:mod:`repro.analysis.verify`) isolates per-iteration communication
+    from setup cost: wrap each solve in a window and difference two runs
+    of different iteration counts.
+
+    >>> with EventWindow(comm.events) as w:
+    ...     cg_solve(op, b, max_iters=10)
+    >>> w.count_kind("allreduce")   # events during the window only
+    """
+
+    def __init__(self, log: EventLog):
+        self.log = log
+        self._start_counts = Counter(log.counts)
+        self._start_quantities = {
+            bucket: Counter(q) for bucket, q in log.quantities.items()}
+        self._end_counts: Counter | None = None
+        self._end_quantities: dict | None = None
+
+    def close(self) -> "EventWindow":
+        """Freeze the window (idempotent); returns self."""
+        if self._end_counts is None:
+            self._end_counts = Counter(self.log.counts)
+            self._end_quantities = {
+                bucket: Counter(q) for bucket, q in self.log.quantities.items()}
+        return self
+
+    def __enter__(self) -> "EventWindow":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- delta queries (EventLog-shaped) ----------------------------------------
+
+    def _counts(self) -> Counter:
+        end = self._end_counts if self._end_counts is not None \
+            else self.log.counts
+        return {bucket: n - self._start_counts.get(bucket, 0)
+                for bucket, n in end.items()
+                if n - self._start_counts.get(bucket, 0)}
+
+    def count(self, kind: str, key=None) -> int:
+        return self._counts().get((kind, key), 0)
+
+    def count_kind(self, kind: str) -> int:
+        return sum(n for (k, _key), n in self._counts().items() if k == kind)
+
+    def total(self, kind: str, amount: str, key=None) -> float:
+        end = self._end_quantities if self._end_quantities is not None \
+            else self.log.quantities
+        out = 0.0
+        for bucket, q in end.items():
+            if bucket[0] != kind or (key is not None and bucket[1] != key):
+                continue
+            start = self._start_quantities.get(bucket, {})
+            out += q.get(amount, 0.0) - start.get(amount, 0.0)
+        return out
+
+    def as_log(self) -> EventLog:
+        """The window's deltas materialised as a standalone EventLog."""
+        log = EventLog()
+        for bucket, n in self._counts().items():
+            log.counts[bucket] = n
+        return log
 
 
 class InstrumentedComm(Communicator):
@@ -28,6 +101,10 @@ class InstrumentedComm(Communicator):
     def __init__(self, inner: Communicator, events: EventLog | None = None):
         self.inner = inner
         self.events = events if events is not None else EventLog()
+
+    def window(self) -> EventWindow:
+        """Open an :class:`EventWindow` over this communicator's log."""
+        return EventWindow(self.events)
 
     @property
     def rank(self) -> int:

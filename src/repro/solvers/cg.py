@@ -28,6 +28,17 @@ from repro.solvers.result import SolveResult
 from repro.utils.errors import ConvergenceError
 from repro.utils.validation import check_positive
 
+#: Machine-checked communication budget per CG iteration (enforced by
+#: ``python -m repro.analysis``): one depth-1 halo exchange inside the
+#: matvec and two fused allreduces — ``<p, Ap>`` and the combined
+#: ``(<r,z>, <r,r>)`` pair.  The scaling figures assume exactly this.
+COMM_CONTRACT = {
+    "solver": "cg",
+    "halo_exchanges_per_iter": 1,
+    "allreduces_per_iter": 2,
+    "halo_depth": 1,
+}
+
 
 def cg_solve(
     op: StencilOperator2D,

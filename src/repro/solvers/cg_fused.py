@@ -31,6 +31,16 @@ from repro.solvers.result import SolveResult
 from repro.utils.errors import ConvergenceError
 from repro.utils.validation import check_positive
 
+#: Machine-checked communication budget (see ``repro.analysis``): the
+#: whole point of this variant is the single fused allreduce — adding a
+#: second one silently reverts it to classical CG.
+COMM_CONTRACT = {
+    "solver": "cg_fused",
+    "halo_exchanges_per_iter": 1,
+    "allreduces_per_iter": 1,
+    "halo_depth": 1,
+}
+
 
 def cg_fused_solve(
     op: StencilOperator2D,

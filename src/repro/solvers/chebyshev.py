@@ -45,6 +45,22 @@ from repro.solvers.result import SolveResult
 from repro.utils.errors import ConfigurationError
 from repro.utils.validation import check_positive
 
+#: Machine-checked communication budget (see ``repro.analysis``).  The
+#: Chebyshev recurrence itself (``ChebyshevIteration.run``) performs **no
+#: global reductions** — that is the paper's communication-avoiding
+#: property — and one halo exchange per step at depth 1 (amortised to
+#: ``1/halo_depth`` by the matrix powers kernel).  The standalone solver
+#: additionally pays one allreduce per ``check_interval`` steps for the
+#: convergence check, declared as ``allreduces_per_check``.
+COMM_CONTRACT = {
+    "solver": "chebyshev",
+    "halo_exchanges_per_iter": 1,
+    "allreduces_per_iter": 0,
+    "allreduces_per_check": 1,
+    "halo_depth": 1,
+    "hot_function": "ChebyshevIteration.run",
+}
+
 
 class ChebyshevIteration:
     """Stateful Chebyshev recurrence advancing a residual field.

@@ -37,6 +37,18 @@ from repro.solvers.result import SolveResult
 from repro.utils.errors import ConfigurationError, ConvergenceError
 from repro.utils.validation import check_positive
 
+#: Machine-checked communication budget (see ``repro.analysis``): CG's two
+#: fused allreduces plus the one k-sized allreduce hidden in each projector
+#: application (``DeflationSpace.wt``) — the coarse solve itself is
+#: replicated local work.
+COMM_CONTRACT = {
+    "solver": "dcg",
+    "halo_exchanges_per_iter": 1,
+    "allreduces_per_iter": 3,
+    "halo_depth": 1,
+    "hot_function": "deflated_cg_solve",
+}
+
 
 class DeflationSpace:
     """Subdomain-constant deflation vectors and the coarse operator.

@@ -16,6 +16,16 @@ from repro.solvers.operator import StencilOperator2D
 from repro.solvers.result import SolveResult
 from repro.utils.validation import check_positive
 
+#: Machine-checked communication budget (see ``repro.analysis``): one
+#: depth-1 exchange in the residual matvec plus the convergence-check
+#: allreduce.
+COMM_CONTRACT = {
+    "solver": "jacobi",
+    "halo_exchanges_per_iter": 1,
+    "allreduces_per_iter": 1,
+    "halo_depth": 1,
+}
+
 
 def jacobi_solve(
     op: StencilOperator2D,

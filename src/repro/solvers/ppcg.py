@@ -35,6 +35,24 @@ from repro.solvers.result import SolveResult
 from repro.utils.errors import ConfigurationError, ConvergenceError
 from repro.utils.validation import check_positive
 
+#: Machine-checked communication budget (see ``repro.analysis``).  CPPCG's
+#: outer loop *is* ``cg_solve`` running with the Chebyshev preconditioner,
+#: so the static per-iteration budget is enforced in
+#: :mod:`repro.solvers.cg` (``delegates_to``); this contract declares the
+#: outer budget the dynamic verifier checks: the same two allreduces as
+#: CG, one outer matvec exchange, plus one exchange per inner Chebyshev
+#: step — amortised to ``ceil(inner_steps / halo_depth)`` per outer
+#: iteration by the matrix powers kernel.
+COMM_CONTRACT = {
+    "solver": "ppcg",
+    "halo_exchanges_per_iter": 1,
+    "allreduces_per_iter": 2,
+    "halo_exchanges_per_inner_step": 1,
+    "halo_depth": 1,
+    "hot_function": None,
+    "delegates_to": "repro.solvers.cg",
+}
+
 
 def ppcg_solve(
     op: StencilOperator2D,
