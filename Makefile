@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench report figures examples lint verify-contracts clean
+.PHONY: install test bench report figures examples lint verify-contracts resilience clean
 
 install:
 	pip install -e .
@@ -25,6 +25,7 @@ examples:
 	$(PYTHONPATH_SRC) $(PYTHON) examples/solver_comparison.py 64
 	$(PYTHONPATH_SRC) $(PYTHON) examples/deck_driven.py
 	$(PYTHONPATH_SRC) $(PYTHON) examples/communication_avoiding.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/fault_tolerance.py
 	$(PYTHONPATH_SRC) $(PYTHON) examples/scaling_study.py
 
 # Static analysis: the comm-contract linter (rules RPR0xx, see
@@ -41,6 +42,13 @@ lint:
 # cross-check measured per-iteration comm counts against its COMM_CONTRACT.
 verify-contracts:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis --verify-only
+
+# Resilience: sweep injected fault rate x solver through the deterministic
+# fault-injection stack (docs/resilience.md), then re-verify the comm
+# contracts with the resilient stack in place (faults disabled).
+resilience:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.harness.resilience_sweep
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis --verify-only --verify-resilience
 
 clean:
 	rm -rf results .pytest_cache src/repro.egg-info

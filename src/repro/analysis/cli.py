@@ -56,6 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--verify-solver", action="append", default=[],
                         help="restrict --verify to this solver name "
                              "(repeatable)")
+    parser.add_argument("--verify-resilience", action="store_true",
+                        help="route the verify solves through the resilient "
+                             "comm stack (retry + disabled fault injector); "
+                             "implies --verify")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -102,11 +106,12 @@ def main(argv: list[str] | None = None) -> int:
         else root / config.baseline
 
     verify_reports = None
-    if args.verify or args.verify_only:
+    if args.verify or args.verify_only or args.verify_resilience:
         from repro.analysis.verify import verify_contracts
         try:
             verify_reports = verify_contracts(
-                n=args.verify_size, names=args.verify_solver or None)
+                n=args.verify_size, names=args.verify_solver or None,
+                resilience=args.verify_resilience)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -181,8 +181,16 @@ def default_specs() -> list[VerifySpec]:
     ]
 
 
-def _measure(spec: VerifySpec, n: int) -> tuple[float, float, int]:
-    """Per-iteration (allreduces, halos) for one spec via window deltas."""
+def _measure(spec: VerifySpec, n: int,
+             resilience: bool = False) -> tuple[float, float, int]:
+    """Per-iteration (allreduces, halos) for one spec via window deltas.
+
+    With ``resilience=True`` the solve is routed through the canonical
+    resilient stack (``InstrumentedComm(RetryingComm(FaultyComm(...)))``
+    with a disabled :class:`~repro.resilience.faults.FaultPlan`) instead
+    of a bare instrumented communicator — proving the retry/injection
+    layers are contract-transparent when no faults fire.
+    """
     from repro.comm import EventWindow, InstrumentedComm, SerialComm
     from repro.mesh import Field, decompose
     from repro.solvers import StencilOperator2D
@@ -195,7 +203,12 @@ def _measure(spec: VerifySpec, n: int) -> tuple[float, float, int]:
 
     def one_run(max_iters: int) -> tuple[int, int, int]:
         log = EventLog()
-        comm = InstrumentedComm(SerialComm(), log)
+        if resilience:
+            from repro.resilience import FaultPlan, build_resilient_comm
+            comm = build_resilient_comm(SerialComm(), FaultPlan.disabled(),
+                                        events=log).comm
+        else:
+            comm = InstrumentedComm(SerialComm(), log)
         tile = decompose(grid, 1)[0]
         op = StencilOperator2D.from_global_faces(
             tile, spec.halo, kxg, kyg, comm, events=log)
@@ -217,8 +230,15 @@ def _measure(spec: VerifySpec, n: int) -> tuple[float, float, int]:
 
 def verify_contracts(n: int = 32,
                      specs: list[VerifySpec] | None = None,
-                     names: list[str] | None = None) -> list[VerifyReport]:
-    """Measure every solver configuration against its ``COMM_CONTRACT``."""
+                     names: list[str] | None = None,
+                     resilience: bool = False) -> list[VerifyReport]:
+    """Measure every solver configuration against its ``COMM_CONTRACT``.
+
+    ``resilience=True`` routes each measurement through the resilient
+    communicator stack with fault injection disabled (see
+    :func:`_measure`); any contract drift introduced by the wrappers
+    shows up as an ordinary verify mismatch.
+    """
     from repro.analysis.contracts import validate_contract
 
     specs = specs if specs is not None else default_specs()
@@ -242,12 +262,17 @@ def verify_contracts(n: int = 32,
                 expected_allreduces=math.nan, expected_halos=math.nan,
                 detail="missing or invalid COMM_CONTRACT"))
             continue
-        measured_ar, measured_halo, d_iter = _measure(spec, n)
+        measured_ar, measured_halo, d_iter = _measure(
+            spec, n, resilience=resilience)
         expected_ar, expected_halo = spec.expected(contract)
+        detail = spec.detail
+        if resilience:
+            detail = f"{detail}, resilient stack" if detail \
+                else "resilient stack"
         reports.append(VerifyReport(
             name=spec.name, module=spec.module, iterations=d_iter,
             measured_allreduces=measured_ar, measured_halos=measured_halo,
             expected_allreduces=float(expected_ar),
             expected_halos=float(expected_halo),
-            detail=spec.detail))
+            detail=detail))
     return reports

@@ -20,12 +20,13 @@ mpi4py-flavoured API:
 from repro.comm.base import Communicator, REDUCE_OPS
 from repro.comm.serial import SerialComm
 from repro.comm.threaded import ThreadComm, ThreadWorld
-from repro.comm.instrument import EventWindow, InstrumentedComm
+from repro.comm.instrument import RETRY_KIND, EventWindow, InstrumentedComm
 from repro.comm.spmd import launch_spmd
 
 __all__ = [
     "Communicator",
     "REDUCE_OPS",
+    "RETRY_KIND",
     "SerialComm",
     "ThreadComm",
     "ThreadWorld",

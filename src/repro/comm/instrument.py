@@ -14,6 +14,17 @@ from collections import Counter
 from repro.comm.base import Communicator, payload_bytes
 from repro.utils.events import EventLog
 
+#: Event kind recorded (by :class:`~repro.resilience.retry.RetryingComm`)
+#: for every *re-issued* communication attempt.  Retries are accounted
+#: separately from the logical operation counts: with the canonical stack
+#: ``InstrumentedComm(RetryingComm(FaultyComm(base)))`` the instrument
+#: layer sees each operation exactly once no matter how many times the
+#: retry layer re-issues it, so ``count_kind("allreduce")`` etc. remain
+#: *first-attempt* counts and the COMM_CONTRACT verifier is unaffected by
+#: legal retries.  Query retries with ``count_kind(RETRY_KIND)`` or
+#: :meth:`EventWindow.retry_count`.
+RETRY_KIND = "comm_retry"
+
 
 class EventWindow:
     """Delta view over an :class:`EventLog` between two instants.
@@ -78,6 +89,12 @@ class EventWindow:
             out += q.get(amount, 0.0) - start.get(amount, 0.0)
         return out
 
+    def retry_count(self, op: str | None = None) -> int:
+        """Re-issued attempts recorded during the window (see RETRY_KIND)."""
+        if op is None:
+            return self.count_kind(RETRY_KIND)
+        return self.count(RETRY_KIND, op)
+
     def as_log(self) -> EventLog:
         """The window's deltas materialised as a standalone EventLog."""
         log = EventLog()
@@ -120,8 +137,12 @@ class InstrumentedComm(Communicator):
         self.events.record("p2p_send", tag, bytes=payload_bytes(obj))
         self.inner.send(obj, dest, tag)
 
-    def recv(self, source: int, tag: int = 0):
-        obj = self.inner.recv(source, tag)
+    def recv(self, source: int, tag: int = 0,
+             timeout: float | None = None):
+        if timeout is None:
+            obj = self.inner.recv(source, tag)
+        else:
+            obj = self.inner.recv(source, tag, timeout=timeout)
         self.events.record("p2p_recv", tag, bytes=payload_bytes(obj))
         return obj
 

@@ -74,9 +74,12 @@ class ThreadWorld:
             self._mailboxes.setdefault((src, dst, tag), deque()).append(obj)
             self._mailbox_cv.notify_all()
 
-    def _collect(self, src: int, dst: int, tag: int):
+    def _collect(self, src: int, dst: int, tag: int,
+                 timeout: float | None = None):
         key = (src, dst, tag)
-        deadline = _RECV_TIMEOUT_S
+        deadline = _RECV_TIMEOUT_S if timeout is None else timeout
+        why = ("probable deadlock" if timeout is None
+               else "dead peer or dropped message")
         with self._mailbox_cv:
             while True:
                 box = self._mailboxes.get(key)
@@ -88,8 +91,9 @@ class ThreadWorld:
                         f"(src={src}, tag={tag})")
                 if deadline <= 0:
                     raise CommunicationError(
-                        f"receive timeout: rank {dst} awaiting src={src} "
-                        f"tag={tag} — probable deadlock")
+                        f"receive timeout after "
+                        f"{_RECV_TIMEOUT_S if timeout is None else timeout}s: "
+                        f"rank {dst} awaiting src={src} tag={tag} — {why}")
                 self._mailbox_cv.wait(_POLL_S)
                 deadline -= _POLL_S
 
@@ -142,9 +146,18 @@ class ThreadComm(Communicator):
         self._check_peer(dest)
         self.world._deposit(self.rank, dest, tag, isolate(obj))
 
-    def recv(self, source: int, tag: int = 0):
+    def recv(self, source: int, tag: int = 0,
+             timeout: float | None = None):
+        """Blocking receive; ``timeout`` (seconds) bounds the wait.
+
+        Default ``None`` keeps the long global deadlock guard for
+        back-compat; an explicit timeout raises
+        :class:`CommunicationError` once exceeded, so a dead peer fails
+        loudly instead of hanging the rank forever.  Used by
+        :class:`~repro.resilience.retry.RetryingComm`.
+        """
         self._check_peer(source)
-        return self.world._collect(source, self.rank, tag)
+        return self.world._collect(source, self.rank, tag, timeout=timeout)
 
     def irecv(self, source: int, tag: int = 0) -> Request:
         """Truly non-blocking receive: returns a pollable request."""

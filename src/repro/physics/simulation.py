@@ -27,7 +27,7 @@ from repro.physics.state import build_coefficient_fields, build_fields, global_i
 from repro.solvers.driver import solve_linear
 from repro.solvers.operator import StencilOperator2D
 from repro.solvers.options import SolverOptions
-from repro.utils.errors import ConvergenceError
+from repro.utils.errors import CommunicationError, ConvergenceError
 from repro.utils.events import EventLog
 from repro.utils.validation import check_positive
 
@@ -132,6 +132,27 @@ class Simulation:
         return field_summary(self.grid, self.fields["density"], self.u,
                              self.comm)
 
+    def checkpoint(self) -> dict:
+        """Snapshot the evolving state (temperature, clock, step index).
+
+        Only ``u`` evolves between steps — density and the operator
+        coefficients are fixed after construction — so a checkpoint is one
+        array copy plus two scalars.  Restoring with :meth:`restore`
+        rewinds the simulation to exactly this point; a re-run from there
+        is bit-identical in a fault-free world.
+        """
+        return {
+            "u": np.array(self.u.data, copy=True),
+            "time": self.time,
+            "step_index": self.step_index,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Rewind to a :meth:`checkpoint` (in place, no allocation)."""
+        self.u.data[...] = snapshot["u"]
+        self.time = snapshot["time"]
+        self.step_index = snapshot["step_index"]
+
     def step(self) -> StepStats:
         """Advance one implicit step: solve ``A u_new = u_old``."""
         b = self.u.copy()
@@ -157,7 +178,9 @@ class Simulation:
     def run(self, n_steps: int,
             summary_frequency: int = 0,
             visit_frequency: int = 0,
-            output_dir=None) -> list[StepStats]:
+            output_dir=None,
+            checkpoint_interval: int = 0,
+            max_step_retries: int = 0) -> list[StepStats]:
         """Advance ``n_steps``, optionally emitting TeaLeaf-style output.
 
         ``summary_frequency``: every k steps, attach a
@@ -165,11 +188,40 @@ class Simulation:
         (``stats.summary``).  ``visit_frequency``: every k steps, rank 0
         writes a legacy-VTK dump of the gathered temperature/density into
         ``output_dir`` (named ``tea.<step>.vtk`` as TeaLeaf does).
+
+        Resilience (both default off, preserving historical behaviour):
+        with ``checkpoint_interval = k`` the state is checkpointed every
+        ``k`` steps, and with ``max_step_retries = m`` a step that fails
+        with :class:`ConvergenceError` or :class:`CommunicationError` is
+        retried up to ``m`` times from the last checkpoint instead of
+        aborting the run.  Convergence failures are globally coherent
+        (the residual check is an allreduce), so every SPMD rank rolls
+        back together; communication failures are only guaranteed
+        coherent when the fault affects collectives symmetrically (as the
+        resilient stack's collective faults do) or in serial runs.
         """
         check_positive("n_steps", n_steps)
-        stats = []
-        for _ in range(n_steps):
-            s = self.step()
+        check_positive("checkpoint_interval", checkpoint_interval,
+                       allow_zero=True)
+        check_positive("max_step_retries", max_step_retries, allow_zero=True)
+        stats: list[StepStats] = []
+        snapshot = None
+        n_kept = 0
+        retries_left = max_step_retries
+        while len(stats) < n_steps:
+            if checkpoint_interval \
+                    and self.step_index % checkpoint_interval == 0:
+                snapshot = self.checkpoint()
+                n_kept = len(stats)
+            try:
+                s = self.step()
+            except (ConvergenceError, CommunicationError):
+                if snapshot is None or retries_left <= 0:
+                    raise
+                retries_left -= 1
+                self.restore(snapshot)
+                del stats[n_kept:]
+                continue
             if summary_frequency and self.step_index % summary_frequency == 0:
                 s.summary = self.summary()
             if visit_frequency and self.step_index % visit_frequency == 0:
@@ -218,19 +270,23 @@ def run_simulation(
     face_mean: str = "harmonic",
     warm_start: bool = True,
     gather_temperature: bool = True,
+    checkpoint_interval: int = 0,
+    max_step_retries: int = 0,
 ) -> SimulationReport:
     """Run the mini-app over an ``nranks``-rank in-process world.
 
     Returns the rank-0 view: per-step statistics, merged event log of rank 0
     (representative — the perfmodel scales by topology), and the gathered
-    global temperature field.
+    global temperature field.  ``checkpoint_interval``/``max_step_retries``
+    enable step-level checkpoint/retry (see :meth:`Simulation.run`).
     """
 
     def rank_main(comm):
         sim = Simulation(comm, grid, problem, options, dt=dt,
                          conductivity=conductivity, face_mean=face_mean,
                          warm_start=warm_start)
-        steps = sim.run(n_steps)
+        steps = sim.run(n_steps, checkpoint_interval=checkpoint_interval,
+                        max_step_retries=max_step_retries)
         temp = sim.gather_temperature(root=0) if gather_temperature else None
         return steps, temp, sim.events
 

@@ -1,0 +1,55 @@
+"""Deterministic fault injection, retrying communication, self-healing solvers.
+
+The paper's design space (§VIII) is explored on machines where transient
+communication faults and corrupted reductions are facts of life; this
+package makes those hazards *reproducible experiments* and gives the
+solver stack the machinery to survive them:
+
+- :mod:`repro.resilience.faults` — seeded, declarative fault injection
+  (:class:`FaultPlan` → :class:`FaultyComm`), logging every injected
+  fault as a :class:`FaultEvent`;
+- :mod:`repro.resilience.retry` — :class:`RetryingComm`, bounded retry
+  with deterministic exponential backoff on a :class:`VirtualClock`;
+- :mod:`repro.resilience.guard` — :class:`SolverGuard`, residual health
+  checks plus in-memory checkpoint/rollback for CG/PPCG/Chebyshev;
+- :mod:`repro.resilience.runner` — the canonical stack
+  (:func:`build_resilient_comm`) and a turn-key benchmark driver
+  (:func:`run_resilient`).
+
+See ``docs/resilience.md`` for the full model.
+"""
+
+from repro.resilience.faults import (
+    CrashWindow,
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    FaultyComm,
+    IterationCell,
+)
+from repro.resilience.guard import GuardEvent, Snapshot, SolverGuard
+from repro.resilience.retry import RetryingComm, VirtualClock
+from repro.resilience.runner import (
+    ResilienceReport,
+    ResilientStack,
+    build_resilient_comm,
+    run_resilient,
+)
+
+__all__ = [
+    "CrashWindow",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyComm",
+    "IterationCell",
+    "GuardEvent",
+    "Snapshot",
+    "SolverGuard",
+    "RetryingComm",
+    "VirtualClock",
+    "ResilienceReport",
+    "ResilientStack",
+    "build_resilient_comm",
+    "run_resilient",
+]

@@ -1,0 +1,148 @@
+"""Bounded retry with deterministic exponential backoff.
+
+:class:`RetryingComm` sits between the instrumentation layer and the
+fault injector in the canonical resilient stack::
+
+    InstrumentedComm(RetryingComm(FaultyComm(base)))
+
+It re-issues operations that fail with
+:class:`~repro.utils.errors.TransientCommError` — the *recoverable* fault
+class — up to ``max_attempts`` times, sleeping
+``base_delay * backoff ** (attempt - 1)`` between attempts on a pluggable
+clock.  Plain :class:`~repro.utils.errors.CommunicationError` (API
+misuse, a receive timeout on a genuinely dropped message, an aborted
+world) is *not* retried: re-issuing those can only waste the budget or
+hang, so they fail fast to the solver-level recovery machinery.
+
+Every re-issue records a :data:`~repro.comm.instrument.RETRY_KIND`
+event, so retries are visible in the event log but never inflate the
+logical operation counts the COMM_CONTRACT verifier asserts on.
+
+No wall-clock time is consulted anywhere: the default
+:class:`VirtualClock` just accumulates the seconds it was asked to
+sleep, which keeps retry schedules (and therefore whole runs) exactly
+reproducible and makes backoff costs measurable in tests.
+"""
+
+from __future__ import annotations
+
+from repro.comm.base import Communicator
+from repro.comm.instrument import RETRY_KIND
+from repro.utils.errors import ConfigurationError, TransientCommError
+from repro.utils.events import EventLog
+
+
+class VirtualClock:
+    """Deterministic clock: ``sleep`` only advances a counter.
+
+    Shared between :class:`RetryingComm` (backoff sleeps) and
+    :class:`~repro.resilience.faults.FaultyComm` (``delay`` faults) so a
+    run's total injected latency is a single inspectable number.
+    """
+
+    def __init__(self):
+        self.now = 0.0
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class RetryingComm(Communicator):
+    """Communicator decorator that retries transient failures.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped communicator (typically a
+        :class:`~repro.resilience.faults.FaultyComm`).
+    max_attempts:
+        Total attempts per operation (first try included); must be >= 1.
+    base_delay / backoff:
+        Backoff schedule: attempt ``k`` (1-based re-issue) sleeps
+        ``base_delay * backoff ** (k - 1)`` virtual seconds.
+    clock:
+        Object with ``sleep(seconds)``; defaults to a fresh
+        :class:`VirtualClock`.
+    events:
+        Optional :class:`EventLog`; each re-issue records
+        ``(RETRY_KIND, op_name)``.
+    recv_timeout:
+        Per-attempt receive timeout in seconds, forwarded to the inner
+        ``recv``.  With a :class:`~repro.comm.threaded.ThreadComm`
+        underneath this turns a dead peer into a
+        :class:`CommunicationError` instead of a deadlock.
+    """
+
+    def __init__(self, inner: Communicator, max_attempts: int = 5,
+                 base_delay: float = 1e-3, backoff: float = 2.0,
+                 clock=None, events: EventLog | None = None,
+                 recv_timeout: float | None = None):
+        if max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.inner = inner
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.backoff = backoff
+        self.clock = clock if clock is not None else VirtualClock()
+        self.events = events
+        self.recv_timeout = recv_timeout
+        #: total re-issued attempts across all operations
+        self.retries = 0
+
+    @property
+    def rank(self) -> int:
+        return self.inner.rank
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    def _attempt(self, op_name: str, call):
+        """Run ``call`` with bounded retry on TransientCommError."""
+        attempt = 1
+        while True:
+            try:
+                return call()
+            except TransientCommError:
+                if attempt >= self.max_attempts:
+                    raise
+                self.clock.sleep(self.base_delay
+                                 * self.backoff ** (attempt - 1))
+                attempt += 1
+                self.retries += 1
+                if self.events is not None:
+                    self.events.record(RETRY_KIND, op_name)
+
+    # -- point to point --------------------------------------------------------
+
+    def send(self, obj, dest: int, tag: int = 0) -> None:
+        self._attempt("send", lambda: self.inner.send(obj, dest, tag))
+
+    def recv(self, source: int, tag: int = 0,
+             timeout: float | None = None):
+        per_attempt = timeout if timeout is not None else self.recv_timeout
+        if per_attempt is None:
+            return self._attempt(
+                "recv", lambda: self.inner.recv(source, tag))
+        return self._attempt(
+            "recv", lambda: self.inner.recv(source, tag,
+                                            timeout=per_attempt))
+
+    # -- collectives -----------------------------------------------------------
+
+    def allreduce(self, value, op: str = "sum"):
+        return self._attempt(
+            "allreduce", lambda: self.inner.allreduce(value, op))
+
+    def bcast(self, obj, root: int = 0):
+        return self._attempt("bcast", lambda: self.inner.bcast(obj, root))
+
+    def gather(self, obj, root: int = 0):
+        return self._attempt("gather", lambda: self.inner.gather(obj, root))
+
+    def allgather(self, obj) -> list:
+        return self._attempt("allgather", lambda: self.inner.allgather(obj))
+
+    def barrier(self) -> None:
+        self._attempt("barrier", lambda: self.inner.barrier())

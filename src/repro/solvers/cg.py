@@ -16,6 +16,8 @@ is how CPPCG obtains its spectrum bounds (§III-D).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.mesh.field import Field
@@ -25,8 +27,11 @@ from repro.solvers.preconditioners import (
     Preconditioner,
 )
 from repro.solvers.result import SolveResult
-from repro.utils.errors import ConvergenceError
-from repro.utils.validation import check_positive
+from repro.utils.errors import ConvergenceError, stall_error
+from repro.utils.validation import check_finite_field, check_positive
+
+if TYPE_CHECKING:
+    from repro.resilience.guard import SolverGuard, Snapshot
 
 #: Machine-checked communication budget per CG iteration (enforced by
 #: ``python -m repro.analysis``): one depth-1 halo exchange inside the
@@ -40,6 +45,19 @@ COMM_CONTRACT = {
 }
 
 
+def _rewind(snap: "Snapshot", alphas: list, betas: list, history: list):
+    """Truncate the recurrence records back to a guard checkpoint.
+
+    Field data has already been restored by ``guard.rollback``; this
+    drops the coefficients/history recorded since the checkpoint and
+    returns the loop scalars to reinstate.
+    """
+    steps = snap.scalars["steps"]
+    del alphas[steps:], betas[steps:], history[steps + 1:]
+    return (snap.iteration, snap.scalars["rz"], snap.scalars["rr"],
+            snap.scalars["pa"], history[-1])
+
+
 def cg_solve(
     op: StencilOperator2D,
     b: Field,
@@ -51,6 +69,7 @@ def cg_solve(
     reference_norm: float | None = None,
     solver_name: str = "cg",
     raise_on_stall: bool = False,
+    guard: "SolverGuard | None" = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with (preconditioned) CG.
 
@@ -73,6 +92,14 @@ def cg_solve(
     raise_on_stall:
         Raise :class:`ConvergenceError` instead of returning an unconverged
         result when the budget is exhausted.
+    guard:
+        Optional :class:`~repro.resilience.guard.SolverGuard`: checkpoint
+        the live state (``x``/``r``/``p`` plus the recurrence scalars)
+        every ``guard.interval`` iterations, screen each residual norm
+        for NaN/Inf and divergence, and roll back to the last checkpoint
+        instead of raising when an iteration is unhealthy (bounded by the
+        guard's rollback budget).  With ``guard=None`` behaviour is
+        byte-identical to the unguarded solver.
 
     Returns
     -------
@@ -82,6 +109,8 @@ def cg_solve(
     """
     check_positive("eps", eps)
     check_positive("max_iters", max_iters)
+    check_finite_field("b", b)
+    check_finite_field("x0", x0)
     M = preconditioner if preconditioner is not None else IdentityPreconditioner(op)
     identity = isinstance(M, IdentityPreconditioner)
 
@@ -114,8 +143,24 @@ def cg_solve(
     res_norm = r0_norm
 
     while not converged and iterations < max_iters:
+        if guard is not None:
+            guard.begin(iterations)
+            if guard.due(iterations):
+                guard.save(iterations,
+                           fields={"x": x, "r": r, "p": p},
+                           scalars={"rz": rz, "rr": rr,
+                                    "pa": precond_applies,
+                                    "steps": len(alphas)})
         op.apply(p, w)
         (pw,) = op.dots([(p, w)])
+        if guard is not None and not (np.isfinite(pw) and pw > 0.0):
+            # Corrupted reduction or perturbed direction vector: restore
+            # the last checkpoint and replay (the fault stream has moved
+            # on, so the replayed iterations see clean communication).
+            snap = guard.rollback(f"<p, Ap> = {pw:.3e}")
+            iterations, rz, rr, precond_applies, res_norm = _rewind(
+                snap, alphas, betas, history)
+            continue
         if pw <= 0.0:
             raise ConvergenceError(
                 f"CG breakdown: <p, Ap> = {pw:.3e} <= 0 (operator not SPD?)")
@@ -135,6 +180,11 @@ def cg_solve(
         iterations += 1
         res_norm = float(np.sqrt(rr))
         history.append(res_norm)
+        if guard is not None and not guard.healthy(res_norm):
+            snap = guard.rollback(f"residual norm {res_norm:.3e}")
+            iterations, rz, rr, precond_applies, res_norm = _rewind(
+                snap, alphas, betas, history)
+            continue
         if not np.isfinite(res_norm):
             raise ConvergenceError(
                 f"CG diverged at iteration {iterations}: residual is "
@@ -147,9 +197,7 @@ def cg_solve(
         rz = rz_new
 
     if not converged and raise_on_stall:
-        raise ConvergenceError(
-            f"CG did not converge in {max_iters} iterations "
-            f"(residual {res_norm:.3e} > {threshold:.3e})")
+        raise stall_error(solver_name, iterations, res_norm, reference, eps)
 
     result = SolveResult(
         x=x,

@@ -29,7 +29,7 @@ from repro.solvers.preconditioners import (
 )
 from repro.solvers.result import SolveResult
 from repro.utils.errors import ConvergenceError
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_finite_field, check_positive
 
 #: Machine-checked communication budget (see ``repro.analysis``): the
 #: whole point of this variant is the single fused allreduce — adding a
@@ -55,6 +55,8 @@ def cg_fused_solve(
     """Solve ``A x = b`` with one global reduction per iteration."""
     check_positive("eps", eps)
     check_positive("max_iters", max_iters)
+    check_finite_field("b", b)
+    check_finite_field("x0", x0)
     M = preconditioner if preconditioner is not None \
         else IdentityPreconditioner(op)
 

@@ -28,6 +28,8 @@ with a single depth-1 exchange of the direction vector.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.mesh.field import Field
@@ -42,8 +44,16 @@ from repro.solvers.preconditioners import (
     make_local_preconditioner,
 )
 from repro.solvers.result import SolveResult
-from repro.utils.errors import ConfigurationError
-from repro.utils.validation import check_positive
+from repro.utils.errors import (
+    CommunicationError,
+    ConfigurationError,
+    ConvergenceError,
+    stall_error,
+)
+from repro.utils.validation import check_finite_field, check_positive
+
+if TYPE_CHECKING:
+    from repro.resilience.guard import SolverGuard
 
 #: Machine-checked communication budget (see ``repro.analysis``).  The
 #: Chebyshev recurrence itself (``ChebyshevIteration.run``) performs **no
@@ -244,6 +254,9 @@ def chebyshev_solve(
     preconditioner: str = "none",
     halo_depth: int = 1,
     bounds: EigenBounds | None = None,
+    raise_on_stall: bool = False,
+    guard: "SolverGuard | None" = None,
+    degrade: bool = False,
 ) -> SolveResult:
     """Standalone Chebyshev solver (TeaLeaf ``tl_use_chebyshev``).
 
@@ -251,11 +264,23 @@ def chebyshev_solve(
     ``bounds`` is supplied), then iterates the Chebyshev recurrence with a
     residual-norm check (one allreduce) every ``check_interval`` steps —
     between checks there is **no global communication at all**.
+
+    ``raise_on_stall`` raises :class:`ConvergenceError` (solver name,
+    final relative residual, iteration count) when the budget runs out
+    unconverged.  ``guard`` enables checkpoint/rollback of the recurrence
+    state at each convergence check (see
+    :class:`~repro.resilience.guard.SolverGuard`).  ``degrade`` lets a
+    matrix-powers run (``halo_depth > 1``) whose deep exchanges keep
+    failing restart the recurrence at depth 1 instead of aborting; the
+    result then carries ``degraded = True``.
     """
     check_positive("check_interval", check_interval)
+    check_finite_field("b", b)
+    check_finite_field("x0", x0)
     local_M = make_local_preconditioner(op, preconditioner)
     warmup = cg_solve(op, b, x0, eps=eps, max_iters=warmup_iters,
-                      preconditioner=local_M, solver_name="chebyshev")
+                      preconditioner=local_M, solver_name="chebyshev",
+                      guard=guard)
     if warmup.converged:
         warmup.warmup_iterations = warmup.iterations
         warmup.iterations = 0
@@ -273,12 +298,52 @@ def chebyshev_solve(
     history = list(warmup.history)
     res_norm = history[-1]
     converged = False
-    while it.steps_done < max_iters:
-        it.run(min(check_interval, max_iters - it.steps_done))
+    degraded = False
+    steps_offset = 0  # recurrence steps retired by abandoned deep runs
+    while steps_offset + it.steps_done < max_iters:
+        if guard is not None:
+            guard.begin(steps_offset + it.steps_done)
+            if guard.due(steps_offset + it.steps_done):
+                guard.save(steps_offset + it.steps_done,
+                           fields={"x": x, "rr": rr, "d": it.d},
+                           scalars={"rho": it.rho, "steps": it.steps_done,
+                                    "since": it._since_exchange,
+                                    "hist": len(history)})
+        try:
+            it.run(min(check_interval,
+                       max_iters - steps_offset - it.steps_done))
+        except CommunicationError:
+            if not (degrade and it.n > 1):
+                raise
+            # The matrix powers kernel's deep exchanges keep failing
+            # (retries exhausted): restart the recurrence at depth 1 from
+            # the current iterate — Chebyshev restarts are legal, only
+            # the communication amortisation is lost.
+            steps_offset += it.steps_done
+            op.residual(b, x, out=rr)
+            it = ChebyshevIteration(op, rr, x, bounds, halo_depth=1,
+                                    local_precond=local_M)
+            degraded = True
+            if guard is not None:
+                # Re-anchor the checkpoint on the new recurrence state:
+                # the previous snapshot referenced the abandoned one.
+                guard.save(steps_offset + it.steps_done,
+                           fields={"x": x, "rr": rr, "d": it.d},
+                           scalars={"rho": it.rho, "steps": it.steps_done,
+                                    "since": it._since_exchange,
+                                    "hist": len(history)})
+            continue
         res_norm = float(np.sqrt(op.dot(rr, rr)))
         history.append(res_norm)
+        if guard is not None and not guard.healthy(res_norm):
+            snap = guard.rollback(f"residual norm {res_norm:.3e}")
+            it.rho = snap.scalars["rho"]
+            it.steps_done = snap.scalars["steps"]
+            it._since_exchange = snap.scalars["since"]
+            del history[snap.scalars["hist"]:]
+            res_norm = history[-1]
+            continue
         if not np.isfinite(res_norm):
-            from repro.utils.errors import ConvergenceError
             raise ConvergenceError(
                 f"Chebyshev diverged after {it.steps_done} steps: residual "
                 "is non-finite — the eigenvalue bounds exclude part of the "
@@ -287,11 +352,16 @@ def chebyshev_solve(
             converged = True
             break
 
-    return SolveResult(
+    iterations = steps_offset + it.steps_done
+    if not converged and raise_on_stall:
+        raise stall_error("chebyshev", iterations, res_norm,
+                          warmup.initial_residual_norm, eps)
+
+    result = SolveResult(
         x=x,
         solver="chebyshev",
         converged=converged,
-        iterations=it.steps_done,
+        iterations=iterations,
         warmup_iterations=warmup.iterations,
         residual_norm=res_norm,
         initial_residual_norm=warmup.initial_residual_norm,
@@ -299,3 +369,9 @@ def chebyshev_solve(
         eigen_bounds=(bounds.lam_min, bounds.lam_max),
         events=op.events,
     )
+    result.degraded = degraded
+    if degraded:
+        result.degraded_reason = (f"matrix-powers halo depth fell back "
+                                  f"{halo_depth} -> 1 after repeated "
+                                  "communication failures")
+    return result

@@ -35,7 +35,7 @@ from repro.solvers.preconditioners import (
 )
 from repro.solvers.result import SolveResult
 from repro.utils.errors import ConfigurationError, ConvergenceError
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_finite_field, check_positive
 
 #: Machine-checked communication budget (see ``repro.analysis``): CG's two
 #: fused allreduces plus the one k-sized allreduce hidden in each projector
@@ -162,6 +162,8 @@ def deflated_cg_solve(
     for non-uniform tilings.
     """
     check_positive("eps", eps)
+    check_finite_field("b", b)
+    check_finite_field("x0", x0)
     if grid_shape is None:
         t = op.tile
         # Recover the global shape from this tile's slice arithmetic: the

@@ -19,24 +19,37 @@ def solve_linear(
     b: Field,
     x0: Field | None = None,
     options: SolverOptions | None = None,
+    guard=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with the solver selected in ``options``.
 
     The operator's fields must have halo depth >=
     ``options.required_field_halo`` (matrix powers needs deep halos).
+
+    ``guard`` is an optional pre-built
+    :class:`~repro.resilience.guard.SolverGuard` (so callers can share its
+    iteration cell with a fault injector); when omitted and
+    ``options.guard_interval > 0`` one is constructed from the options.
+    Guards apply to the cg/ppcg/chebyshev family.
     """
     opt = options if options is not None else SolverOptions()
     if op.halo < opt.required_field_halo:
         raise ConfigurationError(
             f"{opt.label()} needs field halo >= {opt.required_field_halo}, "
             f"operator has {op.halo}")
+    if guard is None and opt.guard_interval > 0:
+        from repro.resilience.guard import SolverGuard
+        guard = SolverGuard(checkpoint_interval=opt.guard_interval,
+                            divergence_ratio=opt.guard_divergence_ratio,
+                            max_rollbacks=opt.guard_max_rollbacks)
 
     if opt.solver == "jacobi":
         return jacobi_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters)
     if opt.solver == "cg":
         M = make_local_preconditioner(op, opt.preconditioner)
         return cg_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters,
-                        preconditioner=M)
+                        preconditioner=M, raise_on_stall=opt.raise_on_stall,
+                        guard=guard)
     if opt.solver == "cg_fused":
         from repro.solvers.cg_fused import cg_fused_solve
         M = make_local_preconditioner(op, opt.preconditioner)
@@ -56,6 +69,9 @@ def solve_linear(
             check_interval=opt.check_interval,
             preconditioner=opt.preconditioner,
             halo_depth=opt.halo_depth,
+            raise_on_stall=opt.raise_on_stall,
+            guard=guard,
+            degrade=opt.degrade,
         )
     if opt.solver == "ppcg":
         return ppcg_solve(
@@ -66,6 +82,9 @@ def solve_linear(
             eigen_safety=opt.eigen_safety,
             inner_preconditioner=opt.preconditioner,
             adaptive=opt.adaptive,
+            raise_on_stall=opt.raise_on_stall,
+            guard=guard,
+            degrade=opt.degrade,
         )
     if opt.solver == "mgcg":
         # Imported lazily: multigrid builds on this package.  Serial runs

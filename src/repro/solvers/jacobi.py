@@ -14,7 +14,7 @@ import numpy as np
 from repro.mesh.field import Field
 from repro.solvers.operator import StencilOperator2D
 from repro.solvers.result import SolveResult
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_finite_field, check_positive
 
 #: Machine-checked communication budget (see ``repro.analysis``): one
 #: depth-1 exchange in the residual matvec plus the convergence-check
@@ -43,6 +43,8 @@ def jacobi_solve(
     """
     check_positive("eps", eps)
     check_positive("max_iters", max_iters)
+    check_finite_field("b", b)
+    check_finite_field("x0", x0)
     x = x0.copy() if x0 is not None else op.new_field()
     r = op.new_field()
     inv_diag = 1.0 / op.diagonal()

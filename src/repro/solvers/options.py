@@ -58,6 +58,24 @@ class SolverOptions:
     adaptive: bool = False
     #: Deflated CG (solver="dcg"): subdomain partition (qx, qy).
     deflation_blocks: tuple[int, int] = (4, 4)
+    #: Raise :class:`~repro.utils.errors.ConvergenceError` (solver name,
+    #: final relative residual, iteration count) instead of returning an
+    #: unconverged result when the iteration budget is exhausted.
+    #: Honoured uniformly by cg, ppcg and chebyshev.
+    raise_on_stall: bool = False
+    #: Resilience (see :mod:`repro.resilience`): checkpoint the solver
+    #: state every this many iterations and roll back on unhealthy
+    #: residuals.  0 disables the guard entirely.
+    guard_interval: int = 0
+    #: An iteration is unhealthy when its residual norm exceeds this
+    #: multiple of the best norm seen so far (or is NaN/Inf).
+    guard_divergence_ratio: float = 1e4
+    #: Rollback budget before the guard gives up and raises.
+    guard_max_rollbacks: int = 3
+    #: Graceful degradation: CPPCG falls back to plain CG on unusable
+    #: spectrum bounds; matrix-powers depth falls back to 1 on repeated
+    #: halo-exchange failure.
+    degrade: bool = False
 
     def __post_init__(self):
         check_in("solver", self.solver, SOLVERS)
@@ -71,6 +89,10 @@ class SolverOptions:
         qx, qy = self.deflation_blocks
         check_positive("deflation_blocks[0]", qx)
         check_positive("deflation_blocks[1]", qy)
+        check_positive("guard_interval", self.guard_interval, allow_zero=True)
+        check_positive("guard_divergence_ratio", self.guard_divergence_ratio)
+        check_positive("guard_max_rollbacks", self.guard_max_rollbacks,
+                       allow_zero=True)
         require(
             not (self.preconditioner == "block_jacobi" and self.halo_depth > 1
                  and self.solver in ("chebyshev", "ppcg")),

@@ -21,6 +21,10 @@ matrix powers kernel: one ``n``-deep halo exchange per ``n`` inner steps.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+import numpy as np
+
 from repro.mesh.field import Field
 from repro.solvers.cg import cg_solve
 from repro.solvers.chebyshev import ChebyshevPreconditioner
@@ -32,8 +36,16 @@ from repro.solvers.eigen import (
 from repro.solvers.operator import StencilOperator2D
 from repro.solvers.preconditioners import make_local_preconditioner
 from repro.solvers.result import SolveResult
-from repro.utils.errors import ConfigurationError, ConvergenceError
-from repro.utils.validation import check_positive
+from repro.utils.errors import (
+    CommunicationError,
+    ConfigurationError,
+    ConvergenceError,
+    stall_error,
+)
+from repro.utils.validation import check_finite_field, check_positive
+
+if TYPE_CHECKING:
+    from repro.resilience.guard import SolverGuard
 
 #: Machine-checked communication budget (see ``repro.analysis``).  CPPCG's
 #: outer loop *is* ``cg_solve`` running with the Chebyshev preconditioner,
@@ -69,6 +81,9 @@ def ppcg_solve(
     bounds: EigenBounds | None = None,
     adaptive: bool = False,
     max_restarts: int = 2,
+    raise_on_stall: bool = False,
+    guard: "SolverGuard | None" = None,
+    degrade: bool = False,
 ) -> SolveResult:
     """Solve ``A x = b`` with CPPCG.
 
@@ -96,9 +111,26 @@ def ppcg_solve(
         lost positive-definiteness — re-run a short CG from the current
         iterate, re-estimate with widened safety factors, and restart, up
         to ``max_restarts`` times.
+    raise_on_stall:
+        Raise :class:`ConvergenceError` (with solver name, final relative
+        residual and iteration count) instead of returning an unconverged
+        result when the budget is exhausted.
+    guard:
+        Optional :class:`~repro.resilience.guard.SolverGuard`, threaded
+        through to every inner ``cg_solve`` phase (warm-up, outer,
+        re-warm-up) for checkpoint/rollback recovery.
+    degrade:
+        Graceful degradation: fall back to *plain CG* when the Chebyshev
+        preconditioner is unusable (invalid/non-finite spectrum bounds,
+        or breakdown persisting after ``max_restarts``), and fall back to
+        ``halo_depth = 1`` when the matrix-powers deep exchanges keep
+        failing with :class:`CommunicationError`.  A degraded result
+        carries ``result.degraded = True`` and ``result.degraded_reason``.
     """
     check_positive("inner_steps", inner_steps)
     check_positive("warmup_iters", warmup_iters)
+    check_finite_field("b", b)
+    check_finite_field("x0", x0)
     if not 1 <= halo_depth <= op.halo:
         raise ConfigurationError(
             f"halo_depth {halo_depth} requires operator halo >= {halo_depth}, "
@@ -110,7 +142,8 @@ def ppcg_solve(
 
     local_M = make_local_preconditioner(op, inner_preconditioner)
     warmup = cg_solve(op, b, x0, eps=eps, max_iters=warmup_iters,
-                      preconditioner=local_M, solver_name="ppcg")
+                      preconditioner=local_M, solver_name="ppcg",
+                      guard=guard)
     if warmup.converged:
         warmup.warmup_iterations = warmup.iterations
         warmup.iterations = 0
@@ -128,10 +161,18 @@ def ppcg_solve(
     budget = max_iters
     outer = None
     safety = eigen_safety
+    depth = halo_depth
+    # When set, the Chebyshev machinery is unusable and the remaining
+    # budget is spent on plain CG (graceful degradation, ``degrade=True``).
+    cg_reason: str | None = None
 
-    while True:
+    if degrade and _invalid_bounds(bounds):
+        cg_reason = ("invalid spectrum bounds "
+                     f"[{bounds.lam_min:.3e}, {bounds.lam_max:.3e}]")
+
+    while cg_reason is None:
         cheby = ChebyshevPreconditioner(
-            op, bounds, steps=inner_steps, halo_depth=halo_depth,
+            op, bounds, steps=inner_steps, halo_depth=depth,
             inner_preconditioner=inner_preconditioner)
         # Stall detection window: Eq. 7 predicts the outer iteration count
         # *if the bounds are right*; exceeding it by 4x means they are not.
@@ -149,9 +190,27 @@ def ppcg_solve(
                 preconditioner=cheby,
                 reference_norm=reference,
                 solver_name="ppcg",
+                guard=guard,
             )
+        except CommunicationError:
+            if degrade and depth > 1:
+                # The deep exchanges of the matrix powers kernel keep
+                # failing (retries exhausted): trade the communication
+                # saving for plain depth-1 inner steps and press on.
+                depth = 1
+                continue
+            raise
+        except ConfigurationError as exc:
+            # Chebyshev rejected its spectrum bounds (delta <= 0).
+            if degrade:
+                cg_reason = f"chebyshev preconditioner unusable: {exc}"
+                break
+            raise
         except ConvergenceError as exc:
             if not adaptive:
+                if degrade:
+                    cg_reason = f"chebyshev-preconditioned CG broke down: {exc}"
+                    break
                 raise
             breakdown = exc
         if breakdown is None:
@@ -162,13 +221,18 @@ def ppcg_solve(
                     or restarts >= max_restarts:
                 break
         elif restarts >= max_restarts:
+            if degrade:
+                cg_reason = (f"breakdown persists after {restarts} "
+                             f"restart(s): {breakdown}")
+                break
             raise breakdown
 
         # Restart: widen the interval and re-estimate from where we are.
         restarts += 1
         safety = (safety[0] * 0.85, safety[1] * 1.25)
         rewarm = cg_solve(op, b, current_x, eps=eps, max_iters=warmup_iters,
-                          reference_norm=reference, solver_name="ppcg")
+                          reference_norm=reference, solver_name="ppcg",
+                          guard=guard)
         extra_warmup += rewarm.iterations
         history_prefix += rewarm.history[1:]
         current_x = rewarm.x
@@ -178,10 +242,40 @@ def ppcg_solve(
             break
         bounds = estimate_eigenvalues(rewarm.alphas, rewarm.betas,
                                       safety=safety)
+        if degrade and _invalid_bounds(bounds):
+            cg_reason = ("re-estimated spectrum bounds invalid "
+                         f"[{bounds.lam_min:.3e}, {bounds.lam_max:.3e}]")
+            break
+
+    if cg_reason is not None:
+        # Graceful degradation: finish the solve with plain CG — slower,
+        # but immune to bad spectrum bounds (the stopping criterion is
+        # unchanged: same eps against the same reference norm).
+        outer = cg_solve(op, b, current_x, eps=eps, max_iters=max(budget, 1),
+                         reference_norm=reference, solver_name="ppcg",
+                         guard=guard)
+        history_prefix += outer.history[1:]
+        current_x = outer.x
 
     outer.x = current_x
     outer.warmup_iterations = warmup.iterations + extra_warmup
     outer.history = history_prefix
     outer.eigen_bounds = (bounds.lam_min, bounds.lam_max)
     outer.restarts = restarts
+    outer.degraded = cg_reason is not None or depth != halo_depth
+    if cg_reason is not None:
+        outer.degraded_reason = f"fell back to plain CG: {cg_reason}"
+    elif depth != halo_depth:
+        outer.degraded_reason = (f"matrix-powers halo depth fell back "
+                                 f"{halo_depth} -> 1 after repeated "
+                                 "communication failures")
+    if raise_on_stall and not outer.converged:
+        raise stall_error("ppcg", len(outer.history) - 1,
+                          outer.residual_norm, reference, eps, result=outer)
     return outer
+
+
+def _invalid_bounds(bounds: EigenBounds) -> bool:
+    """Spectrum bounds the Chebyshev polynomial cannot be built from."""
+    return not (np.isfinite(bounds.lam_min) and np.isfinite(bounds.lam_max)
+                and 0.0 < bounds.lam_min < bounds.lam_max)

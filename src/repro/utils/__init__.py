@@ -6,6 +6,8 @@ from repro.utils.errors import (
     ConvergenceError,
     DecompositionError,
     CommunicationError,
+    TransientCommError,
+    stall_error,
 )
 from repro.utils.events import EventLog
 from repro.utils.timing import Timer
@@ -13,6 +15,7 @@ from repro.utils.validation import (
     require,
     check_positive,
     check_in,
+    check_finite_field,
     check_type,
 )
 
@@ -22,10 +25,13 @@ __all__ = [
     "ConvergenceError",
     "DecompositionError",
     "CommunicationError",
+    "TransientCommError",
+    "stall_error",
     "EventLog",
     "Timer",
     "require",
     "check_positive",
     "check_in",
+    "check_finite_field",
     "check_type",
 ]

@@ -33,3 +33,31 @@ class DecompositionError(ReproError, ValueError):
 
 class CommunicationError(ReproError, RuntimeError):
     """Misuse of, or failure inside, the SPMD communication layer."""
+
+
+class TransientCommError(CommunicationError):
+    """A communication failure expected to succeed when re-issued.
+
+    Raised by the fault-injection layer (:mod:`repro.resilience.faults`) for
+    transient link errors and crash windows;
+    :class:`~repro.resilience.retry.RetryingComm` retries exactly this
+    class — plain :class:`CommunicationError` (misuse, timeouts on dropped
+    messages) fails fast because re-issuing cannot help.
+    """
+
+
+def stall_error(solver: str, iterations: int, residual_norm: float,
+                reference_norm: float, eps: float,
+                result=None) -> ConvergenceError:
+    """Uniform non-convergence error shared by every ``raise_on_stall`` path.
+
+    The message always names the solver and reports the final *relative*
+    residual and the iteration count, so harnesses can parse stalls the
+    same way regardless of which solver stalled.
+    """
+    rel = (residual_norm / reference_norm if reference_norm
+           else float("inf"))
+    return ConvergenceError(
+        f"{solver} did not converge in {iterations} iterations: "
+        f"relative residual {rel:.3e} > eps {eps:.3e}",
+        result=result)

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 from typing import Any, Collection
 
+import numpy as np
+
 from repro.utils.errors import ConfigurationError
 
 
@@ -33,6 +35,27 @@ def check_in(name: str, value: Any, allowed: Collection) -> Any:
         f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}",
     )
     return value
+
+
+def check_finite_field(name: str, field_obj: Any) -> Any:
+    """Validate that a field (or array) carries only finite values.
+
+    Solvers call this on their right-hand side and initial guess so NaN/Inf
+    input fails immediately with a clear :class:`ConfigurationError` (a
+    ``ValueError``) instead of silently iterating to ``max_iters`` on
+    garbage.  ``None`` passes through (an omitted initial guess is legal).
+    """
+    if field_obj is None:
+        return field_obj
+    data = field_obj.interior if hasattr(field_obj, "interior") \
+        else np.asarray(field_obj)
+    finite = np.isfinite(data)
+    if not finite.all():
+        bad = int(data.size - np.count_nonzero(finite))
+        raise ConfigurationError(
+            f"{name} contains {bad} non-finite value(s) (NaN/Inf); "
+            "refusing to start the solve on corrupt input")
+    return field_obj
 
 
 def check_type(name: str, value: Any, types) -> Any:

@@ -1,0 +1,451 @@
+"""Unit tests: deterministic fault injection, retry, guard, degradation."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    EventWindow,
+    InstrumentedComm,
+    SerialComm,
+    launch_spmd,
+)
+from repro.mesh import Field, Grid2D
+from repro.resilience import (
+    CrashWindow,
+    FaultPlan,
+    FaultRule,
+    FaultyComm,
+    SolverGuard,
+    build_resilient_comm,
+    run_resilient,
+)
+from repro.solvers import (
+    EigenBounds,
+    SolverOptions,
+    cg_fused_solve,
+    cg_solve,
+    chebyshev_solve,
+    deflated_cg_solve,
+    jacobi_solve,
+    ppcg_solve,
+)
+from repro.utils import EventLog
+from repro.utils.errors import (
+    CommunicationError,
+    ConfigurationError,
+    ConvergenceError,
+    TransientCommError,
+)
+
+from tests.helpers import crooked_pipe_system, serial_operator
+
+#: The acceptance-criteria fault mix: 2% transient wire errors on every op
+#: class plus 1% NaN-corrupted allreduce results.
+MIX_PLAN = FaultPlan(seed=7, rules=(
+    FaultRule(mode="error", probability=0.02,
+              ops=("send", "recv", "allreduce")),
+    FaultRule(mode="corrupt_nan", probability=0.02, ops=("allreduce",)),
+))
+
+CG_OPTS = SolverOptions(solver="cg", eps=1e-10, max_iters=600,
+                        guard_interval=5)
+
+
+def serial_system(n=24, halo=1):
+    g, kx, ky, bg = crooked_pipe_system(n)
+    op = serial_operator(g, kx, ky, halo=halo)
+    b = Field.from_global(op.tile, halo, bg)
+    return op, b
+
+
+class TestFaultPlan:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(mode="explode")
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(mode="error", probability=1.5)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultRule(mode="error", ops=("sendrecv",))
+
+    def test_disabled_plan_is_inert(self):
+        comm = FaultyComm(SerialComm(), FaultPlan.disabled())
+        assert comm.allreduce(3.0) == 3.0
+        assert comm.log == []
+
+    def test_transient_shorthand(self):
+        plan = FaultPlan.transient(0.25, seed=3)
+        assert plan.active()
+        assert plan.rules[0].mode == "error"
+        assert plan.rules[0].probability == 0.25
+
+    def test_certain_error_raises_and_logs(self):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(mode="error", probability=1.0, ops=("allreduce",)),))
+        comm = FaultyComm(SerialComm(), plan)
+        with pytest.raises(TransientCommError):
+            comm.allreduce(1.0)
+        assert len(comm.log) == 1 and comm.log[0].op == "allreduce"
+
+    def test_max_faults_caps_firing(self):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(mode="corrupt_sign", probability=1.0,
+                      ops=("allreduce",), max_faults=2),))
+        comm = FaultyComm(SerialComm(), plan)
+        values = [comm.allreduce(1.0) for _ in range(5)]
+        assert values == [-1.0, -1.0, 1.0, 1.0, 1.0]
+        assert len(comm.log) == 2
+
+
+class TestDeterminism:
+    def test_same_seed_identical_runs(self):
+        a = run_resilient(CG_OPTS, MIX_PLAN, n=24)
+        b = run_resilient(CG_OPTS, MIX_PLAN, n=24)
+        assert a.fault_events == b.fault_events
+        assert a.iterations == b.iterations
+        assert a.residual_norm == b.residual_norm
+
+    def test_different_seed_different_faults(self):
+        other = FaultPlan(seed=8, rules=MIX_PLAN.rules)
+        a = run_resilient(CG_OPTS, MIX_PLAN, n=24)
+        b = run_resilient(CG_OPTS, other, n=24)
+        assert a.fault_events != b.fault_events
+
+    def test_events_carry_iteration_stamp(self):
+        report = run_resilient(CG_OPTS, MIX_PLAN, n=24)
+        assert report.fault_events
+        assert all(ev.iteration >= 0 for ev in report.fault_events)
+
+
+class TestAcceptance:
+    """ISSUE acceptance: >=1% faults + corrupted allreduce, same answer."""
+
+    @pytest.mark.parametrize("options", [
+        CG_OPTS,
+        SolverOptions(solver="ppcg", eps=1e-10, max_iters=200,
+                      ppcg_inner_steps=4, eigen_warmup_iters=10,
+                      guard_interval=5, degrade=True),
+        SolverOptions(solver="ppcg", eps=1e-10, max_iters=200,
+                      ppcg_inner_steps=8, halo_depth=4,
+                      eigen_warmup_iters=10, guard_interval=5, degrade=True),
+    ], ids=["cg", "ppcg", "cppcg4"])
+    def test_converges_like_fault_free(self, options):
+        clean = run_resilient(options, FaultPlan.disabled(), n=24)
+        faulty = run_resilient(options, MIX_PLAN, n=24)
+        assert clean.converged and faulty.converged
+        assert faulty.relative_residual <= 1e-10
+        assert faulty.iterations == clean.iterations
+        np.testing.assert_allclose(faulty.x, clean.x, atol=1e-9)
+
+    def test_faults_actually_fired(self):
+        report = run_resilient(CG_OPTS, MIX_PLAN, n=24)
+        assert len(report.fault_events) >= 1
+        assert any(ev.mode.startswith("corrupt") and ev.op == "allreduce"
+                   for ev in report.fault_events)
+
+
+class TestRetryNotCounted:
+    """Satellite: retries must never inflate COMM_CONTRACT counts."""
+
+    def test_contract_counts_unchanged_under_faults(self):
+        from repro.mesh import decompose
+        from repro.solvers import StencilOperator2D
+
+        def counted_solve(plan):
+            grid, kxg, kyg, bg = crooked_pipe_system(24)
+            stack = build_resilient_comm(SerialComm(), plan)
+            tile = decompose(grid, 1)[0]
+            op = StencilOperator2D.from_global_faces(
+                tile, 1, kxg, kyg, stack.comm, events=stack.events)
+            b = Field.from_global(tile, 1, bg)
+            with EventWindow(stack.events) as w:
+                result = cg_solve(op, b, eps=1e-10, max_iters=600)
+            return result, w
+
+        # Error-only plan: retried ops succeed, nothing is corrupted, so
+        # the logical operation stream is identical to fault-free.
+        plan = FaultPlan(seed=7, rules=(
+            FaultRule(mode="error", probability=0.05, ops=("allreduce",)),))
+        clean, w_clean = counted_solve(FaultPlan.disabled())
+        faulty, w_faulty = counted_solve(plan)
+        assert w_clean.retry_count() == 0
+        assert w_faulty.retry_count() > 0
+        assert clean.iterations == faulty.iterations
+        assert (w_faulty.count_kind("allreduce")
+                == w_clean.count_kind("allreduce"))
+
+    def test_verify_contracts_through_resilient_stack(self):
+        from repro.analysis.verify import verify_contracts
+        reports = verify_contracts(n=16, names=["cg"], resilience=True)
+        assert reports and all(r.ok for r in reports)
+
+
+class TestGuard:
+    class FakeField:
+        def __init__(self, data):
+            self.data = np.asarray(data, dtype=float)
+
+    def test_rollback_restores_data(self):
+        f = self.FakeField([1.0, 2.0])
+        guard = SolverGuard(checkpoint_interval=5)
+        guard.save(0, fields={"f": f}, scalars={"k": 42})
+        f.data[...] = [9.0, 9.0]
+        snap = guard.rollback("test")
+        assert snap.iteration == 0 and snap.scalars == {"k": 42}
+        np.testing.assert_array_equal(f.data, [1.0, 2.0])
+
+    def test_healthy_screens_nan_and_divergence(self):
+        guard = SolverGuard(divergence_ratio=10.0)
+        assert guard.healthy(1.0)
+        assert not guard.healthy(float("nan"))
+        assert not guard.healthy(float("inf"))
+        assert not guard.healthy(100.0)   # > 10 x best (1.0)
+        assert guard.healthy(5.0)
+
+    def test_rollback_without_checkpoint_raises(self):
+        guard = SolverGuard()
+        with pytest.raises(ConvergenceError):
+            guard.rollback()
+
+    def test_consecutive_budget_exhausts(self):
+        f = self.FakeField([0.0])
+        guard = SolverGuard(max_rollbacks=2)
+        guard.save(0, fields={"f": f}, scalars={})
+        guard.rollback()
+        guard.rollback()
+        with pytest.raises(ConvergenceError, match="budget exhausted"):
+            guard.rollback()
+
+    def test_healthy_iteration_resets_budget(self):
+        f = self.FakeField([0.0])
+        guard = SolverGuard(max_rollbacks=1)
+        guard.save(0, fields={"f": f}, scalars={})
+        guard.rollback()
+        assert guard.healthy(1.0)
+        guard.rollback()  # budget was reset; must not raise
+        assert guard.rollbacks == 2
+
+    def test_guard_recovers_corrupted_cg(self):
+        """A NaN'd allreduce rolls back instead of poisoning the solve."""
+        plan = FaultPlan(seed=7, rules=(
+            FaultRule(mode="corrupt_nan", probability=0.02,
+                      ops=("allreduce",)),))
+        report = run_resilient(CG_OPTS, plan, n=24)
+        assert report.converged and report.rollbacks >= 1
+        assert any(ev.action == "rollback" for ev in report.guard_events)
+
+
+class TestDegradation:
+    def _deep_exchange_poisoned(self, halo):
+        op, b = serial_system(32, halo=halo)
+        real = op.exchanger.exchange
+
+        def failing(fields, depth=1, **kw):
+            if depth > 1:
+                raise CommunicationError("injected deep-halo failure")
+            return real(fields, depth=depth, **kw)
+
+        op.exchanger.exchange = failing
+        return op, b
+
+    def test_chebyshev_falls_back_to_depth_1(self):
+        op, b = self._deep_exchange_poisoned(4)
+        result = chebyshev_solve(op, b, eps=1e-10, warmup_iters=10,
+                                 halo_depth=4, degrade=True)
+        assert result.converged and result.degraded
+        assert "4 -> 1" in result.degraded_reason
+
+    def test_chebyshev_without_degrade_raises(self):
+        op, b = self._deep_exchange_poisoned(4)
+        with pytest.raises(CommunicationError):
+            chebyshev_solve(op, b, eps=1e-10, warmup_iters=10, halo_depth=4)
+
+    def test_ppcg_falls_back_to_depth_1(self):
+        op, b = self._deep_exchange_poisoned(4)
+        result = ppcg_solve(op, b, eps=1e-10, inner_steps=8, halo_depth=4,
+                            warmup_iters=10, degrade=True)
+        assert result.converged and result.degraded
+
+    def test_ppcg_degenerate_bounds_fall_back_to_cg(self):
+        op, b = serial_system(32)
+        result = ppcg_solve(op, b, eps=1e-10, warmup_iters=10,
+                            bounds=EigenBounds(1.0, 1.0), degrade=True)
+        assert result.converged and result.degraded
+        assert "plain CG" in result.degraded_reason
+
+    def test_ppcg_degenerate_bounds_without_degrade_raises(self):
+        op, b = serial_system(32)
+        with pytest.raises(ConfigurationError):
+            ppcg_solve(op, b, eps=1e-10, warmup_iters=10,
+                       bounds=EigenBounds(1.0, 1.0))
+
+
+class TestCrashWindows:
+    def test_survivable_crash(self):
+        plan = FaultPlan(seed=3,
+                         crashes=(CrashWindow(rank=1, start=40, length=3),))
+        report = run_resilient(CG_OPTS, plan, n=24, size=4)
+        assert report.converged
+        crash = [ev for ev in report.fault_events if ev.rule == -1]
+        assert crash and all(ev.rank == 1 for ev in crash)
+
+    def test_fatal_crash_raises(self):
+        plan = FaultPlan(seed=3,
+                         crashes=(CrashWindow(rank=1, start=40, length=10),))
+        with pytest.raises(CommunicationError):
+            run_resilient(CG_OPTS, plan, n=24, size=4, max_attempts=5)
+
+    def test_determinism_across_ranks(self):
+        plan = FaultPlan(seed=11, rules=(
+            FaultRule(mode="error", probability=0.01,
+                      ops=("send", "recv", "allreduce")),))
+        a = run_resilient(CG_OPTS, plan, n=24, size=4)
+        b = run_resilient(CG_OPTS, plan, n=24, size=4)
+        assert a.converged and a.fault_events == b.fault_events
+        assert a.iterations == b.iterations
+
+
+class TestDropAndTimeout:
+    def test_dropped_send_times_out_receiver(self):
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(mode="drop", probability=1.0, ops=("send",)),))
+
+        def rank_main(comm):
+            stack = build_resilient_comm(comm, plan, recv_timeout=0.2)
+            peer = 1 - comm.rank
+            stack.comm.send(comm.rank, dest=peer, tag=0)
+            return stack.comm.recv(source=peer, tag=0)
+
+        with pytest.raises(CommunicationError):
+            launch_spmd(rank_main, 2)
+
+    def test_timeout_error_is_not_retried(self):
+        """Timeouts are plain CommunicationError: retrying cannot help."""
+        plan = FaultPlan(seed=0, rules=(
+            FaultRule(mode="drop", probability=1.0, ops=("send",)),))
+        retried = []
+
+        def rank_main(comm):
+            stack = build_resilient_comm(comm, plan, recv_timeout=0.2)
+            peer = 1 - comm.rank
+            stack.comm.send(comm.rank, dest=peer, tag=0)
+            try:
+                stack.comm.recv(source=peer, tag=0)
+            finally:
+                retried.append(stack.retrying.retries)
+            return None
+
+        with pytest.raises(CommunicationError):
+            launch_spmd(rank_main, 2)
+        assert retried and all(r == 0 for r in retried)
+
+
+class TestInputValidation:
+    """Satellite: NaN/Inf in b or x0 fails upfront for every solver."""
+
+    SOLVERS = {
+        "jacobi": jacobi_solve,
+        "cg": cg_solve,
+        "cg_fused": cg_fused_solve,
+        "dcg": deflated_cg_solve,
+        "chebyshev": chebyshev_solve,
+        "ppcg": ppcg_solve,
+    }
+
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_nan_rhs_rejected(self, name):
+        op, b = serial_system(8)
+        b.interior[2, 3] = float("nan")
+        with pytest.raises(ValueError, match="non-finite"):
+            self.SOLVERS[name](op, b)
+
+    @pytest.mark.parametrize("name", sorted(SOLVERS))
+    def test_inf_x0_rejected(self, name):
+        op, b = serial_system(8)
+        x0 = op.new_field()
+        x0.interior[0, 0] = float("inf")
+        with pytest.raises(ValueError, match="x0"):
+            self.SOLVERS[name](op, b, x0)
+
+
+class TestStallConsistency:
+    """Satellite: cg/ppcg/chebyshev raise the same stall error shape."""
+
+    CASES = {
+        "cg": lambda op, b: cg_solve(op, b, eps=1e-300, max_iters=5,
+                                     raise_on_stall=True),
+        "chebyshev": lambda op, b: chebyshev_solve(
+            op, b, eps=1e-300, max_iters=20, warmup_iters=8,
+            raise_on_stall=True),
+        "ppcg": lambda op, b: ppcg_solve(
+            op, b, eps=1e-300, max_iters=5, inner_steps=4, warmup_iters=8,
+            raise_on_stall=True),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_stall_message_format(self, name):
+        op, b = serial_system(16)
+        with pytest.raises(ConvergenceError) as exc_info:
+            self.CASES[name](op, b)
+        message = str(exc_info.value)
+        assert message.startswith(f"{name} did not converge in ")
+        assert "relative residual" in message and "eps" in message
+
+
+class TestSimulationCheckpoint:
+    def _sim(self):
+        from repro.physics import crooked_pipe
+        from repro.physics.simulation import Simulation
+        options = SolverOptions(solver="cg", eps=1e-10, max_iters=400)
+        return Simulation(SerialComm(), Grid2D(16, 16), crooked_pipe(),
+                          options)
+
+    def test_step_retry_reproduces_fault_free_run(self):
+        baseline = self._sim().run(3)
+        sim = self._sim()
+        step, armed = sim.step, [True]
+
+        def flaky():
+            if sim.step_index == 1 and armed[0]:
+                armed[0] = False
+                raise ConvergenceError("injected")
+            return step()
+
+        sim.step = flaky
+        stats = sim.run(3, checkpoint_interval=1, max_step_retries=2)
+        assert [s.step for s in stats] == [s.step for s in baseline]
+        assert stats[-1].mean_temperature == baseline[-1].mean_temperature
+
+    def test_retry_budget_exhaustion_reraises(self):
+        sim = self._sim()
+
+        def always_fail():
+            raise ConvergenceError("persistent")
+
+        sim.step = always_fail
+        with pytest.raises(ConvergenceError):
+            sim.run(2, checkpoint_interval=1, max_step_retries=2)
+
+    def test_no_checkpoint_means_no_retry(self):
+        sim = self._sim()
+
+        def always_fail():
+            raise ConvergenceError("persistent")
+
+        sim.step = always_fail
+        with pytest.raises(ConvergenceError):
+            sim.run(1, max_step_retries=5)
+
+
+class TestSweepHarness:
+    def test_small_sweep_converges_everywhere(self):
+        from repro.harness.resilience_sweep import run_resilience_sweep
+        sweep = run_resilience_sweep(n=16, rates=(0.0, 0.02))
+        for key, report in sweep.reports.items():
+            assert report.converged, key
+        clean = sweep.report("cg", 0.0)
+        faulty = sweep.report("cg", 0.02)
+        assert clean.iterations == faulty.iterations
