@@ -6,13 +6,18 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test bench report figures examples lint verify-contracts resilience clean
+.PHONY: install test test-fast bench report figures examples trace lint verify-contracts resilience clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest tests/
+
+# The quick inner-loop subset: skips the long end-to-end runs and the
+# multi-rank thread-world tests (markers registered in pyproject.toml).
+test-fast:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest tests/ -m "not slow and not distributed"
 
 bench:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -27,6 +32,17 @@ examples:
 	$(PYTHONPATH_SRC) $(PYTHON) examples/communication_avoiding.py
 	$(PYTHONPATH_SRC) $(PYTHON) examples/fault_tolerance.py
 	$(PYTHONPATH_SRC) $(PYTHON) examples/scaling_study.py
+
+# Observability: trace the crooked-pipe CPPCG solve and write
+# results/trace/trace.jsonl + trace.chrome.json (open the latter in
+# chrome://tracing or ui.perfetto.dev; see docs/observability.md).
+trace:
+	@mkdir -p results
+	$(PYTHONPATH_SRC) $(PYTHON) -c "from pathlib import Path; \
+	from repro.physics.deck import CROOKED_PIPE_DECK; \
+	Path('results/tea.in').write_text(CROOKED_PIPE_DECK.format(n=32))"
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main trace \
+	    --deck results/tea.in --solver cppcg --out results/trace
 
 # Static analysis: the comm-contract linter (rules RPR0xx, see
 # docs/analysis.md) always runs; ruff/mypy run when installed

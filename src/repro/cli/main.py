@@ -97,6 +97,58 @@ def _cmd_solve(args) -> int:
     return 0 if result.converged else 1
 
 
+def _cmd_trace(args) -> int:
+    """Traced one-shot solve: JSONL + Chrome trace + text summaries."""
+    from repro.observe import (
+        deck_system,
+        metrics_table,
+        summary_table,
+        traced_solve,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.physics.deck import parse_deck
+    from repro.solvers import SolverOptions
+
+    deck = parse_deck(args.deck)
+    solver = args.solver or deck.solver
+    # Accept the paper's name for the Chebyshev-preconditioned solver.
+    if solver == "cppcg":
+        solver = "ppcg"
+    options = SolverOptions(
+        solver=solver,
+        eps=deck.tl_eps,
+        max_iters=deck.tl_max_iters,
+        preconditioner=deck.tl_preconditioner_type,
+        ppcg_inner_steps=deck.tl_ppcg_inner_steps,
+        halo_depth=args.halo_depth or deck.tl_ppcg_halo_depth,
+        eigen_warmup_iters=deck.tl_eigen_warmup_iters,
+    )
+    clock_factory = None
+    if args.virtual_clock:
+        from repro.resilience import VirtualClock
+        clock_factory = lambda rank: VirtualClock(tick=1e-6)  # noqa: E731
+    grid, kxg, kyg, bg = deck_system(deck)
+    run = traced_solve(grid, kxg, kyg, bg, options, size=args.ranks,
+                       clock_factory=clock_factory, capacity=args.capacity)
+
+    out = Path(args.out)
+    spans = run.spans
+    jsonl_path = write_jsonl(spans, out / "trace.jsonl")
+    chrome_path = write_chrome_trace(spans, out / "trace.chrome.json")
+    print(run.result.summary())
+    print(summary_table(spans))
+    print(metrics_table(run.metrics.snapshot()))
+    dropped = sum(t.dropped for t in run.tracers)
+    if dropped:
+        print(f"note: ring buffer dropped {dropped} span(s) "
+              f"(capacity {args.capacity}/rank)")
+    print(f"trace written to {jsonl_path}")
+    print(f"chrome trace written to {chrome_path} "
+          "(open in chrome://tracing or ui.perfetto.dev)")
+    return 0 if run.result.converged else 1
+
+
 def _cmd_figure(args) -> int:
     from repro.harness import fig3, fig4, fig5, fig6, fig7, fig8, table1
     from repro.harness import breakdown, depth_sweep, future_solvers
@@ -148,6 +200,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--halo-depth", type=int, default=0,
                          help="override the matrix-powers halo depth")
     p_solve.set_defaults(func=_cmd_solve)
+
+    p_trace = sub.add_parser(
+        "trace", help="traced one-shot solve of a deck's first step")
+    p_trace.add_argument("--deck", required=True)
+    p_trace.add_argument("--ranks", type=int, default=1)
+    p_trace.add_argument("--solver", default="",
+                         help="override the deck's solver (accepts 'cppcg')")
+    p_trace.add_argument("--halo-depth", type=int, default=0,
+                         help="override the matrix-powers halo depth")
+    p_trace.add_argument("--out", default="results/trace",
+                         help="directory for trace.jsonl / trace.chrome.json")
+    p_trace.add_argument("--capacity", type=int, default=1 << 16,
+                         help="per-rank span ring-buffer bound")
+    p_trace.add_argument("--virtual-clock", action="store_true",
+                         help="deterministic virtual timestamps "
+                              "(byte-identical traces across runs)")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_fig = sub.add_parser("figure", help="regenerate one paper figure/table")
     p_fig.add_argument("name", choices=["table1", "fig3", "fig4", "fig5",

@@ -113,11 +113,22 @@ class InstrumentedComm(Communicator):
     - ``("allreduce", op)`` with ``bytes`` (per-rank contribution size)
     - ``("bcast", None)``, ``("gather", None)``, ``("allgather", None)``,
       ``("barrier", None)``
+
+    A :class:`~repro.observe.trace.Tracer` may be attached to additionally
+    emit one timed span per operation (names mirror the event kinds).  With
+    the default null tracer the span calls are no-ops that allocate nothing.
     """
 
-    def __init__(self, inner: Communicator, events: EventLog | None = None):
+    def __init__(self, inner: Communicator, events: EventLog | None = None,
+                 tracer=None):
         self.inner = inner
         self.events = events if events is not None else EventLog()
+        if tracer is None:
+            # Deferred import: repro.observe.hooks imports repro.comm.base,
+            # and this module is pulled in by repro.comm's package init.
+            from repro.observe.trace import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
 
     def window(self) -> EventWindow:
         """Open an :class:`EventWindow` over this communicator's log."""
@@ -135,14 +146,16 @@ class InstrumentedComm(Communicator):
 
     def send(self, obj, dest: int, tag: int = 0) -> None:
         self.events.record("p2p_send", tag, bytes=payload_bytes(obj))
-        self.inner.send(obj, dest, tag)
+        with self.tracer.span("p2p_send", tag):
+            self.inner.send(obj, dest, tag)
 
     def recv(self, source: int, tag: int = 0,
              timeout: float | None = None):
-        if timeout is None:
-            obj = self.inner.recv(source, tag)
-        else:
-            obj = self.inner.recv(source, tag, timeout=timeout)
+        with self.tracer.span("p2p_recv", tag):
+            if timeout is None:
+                obj = self.inner.recv(source, tag)
+            else:
+                obj = self.inner.recv(source, tag, timeout=timeout)
         self.events.record("p2p_recv", tag, bytes=payload_bytes(obj))
         return obj
 
@@ -150,20 +163,25 @@ class InstrumentedComm(Communicator):
 
     def allreduce(self, value, op: str = "sum"):
         self.events.record("allreduce", op, bytes=payload_bytes(value))
-        return self.inner.allreduce(value, op)
+        with self.tracer.span("allreduce", op):
+            return self.inner.allreduce(value, op)
 
     def bcast(self, obj, root: int = 0):
         self.events.record("bcast", None, bytes=payload_bytes(obj))
-        return self.inner.bcast(obj, root)
+        with self.tracer.span("bcast"):
+            return self.inner.bcast(obj, root)
 
     def gather(self, obj, root: int = 0):
         self.events.record("gather", None, bytes=payload_bytes(obj))
-        return self.inner.gather(obj, root)
+        with self.tracer.span("gather"):
+            return self.inner.gather(obj, root)
 
     def allgather(self, obj) -> list:
         self.events.record("allgather", None, bytes=payload_bytes(obj))
-        return self.inner.allgather(obj)
+        with self.tracer.span("allgather"):
+            return self.inner.allgather(obj)
 
     def barrier(self) -> None:
         self.events.record("barrier", None)
-        self.inner.barrier()
+        with self.tracer.span("barrier"):
+            self.inner.barrier()

@@ -39,4 +39,39 @@ def write_report(out_dir: Path, fig3_mesh: int = 48) -> list[Path]:
         fig = runner()
         write(f"{name}.csv", fig.to_csv())
         write(f"{name}.txt", fig.to_text())
+
+    paths.extend(write_trace_profile(out_dir))
     return paths
+
+
+def write_trace_profile(out_dir: Path, n: int = 24) -> list[Path]:
+    """Traced CPPCG crooked-pipe solve: summary, JSONL and Chrome trace.
+
+    The observability artefact of the report: where the time of one
+    communication-avoiding solve goes, as a text table plus machine-read
+    trace files (see docs/observability.md).
+    """
+    from repro.observe import (
+        metrics_table,
+        summary_table,
+        traced_crooked_pipe,
+        write_chrome_trace,
+        write_jsonl,
+    )
+    from repro.solvers import SolverOptions
+
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    run = traced_crooked_pipe(n, SolverOptions(
+        solver="ppcg", eps=1e-10, ppcg_inner_steps=4, eigen_warmup_iters=10))
+    spans = run.spans
+    summary = out_dir / "trace_summary.txt"
+    summary.write_text(
+        f"== traced cppcg solve: crooked pipe n={n} ==\n"
+        + run.result.summary() + "\n\n"
+        + summary_table(spans) + "\n\n"
+        + metrics_table(run.metrics.snapshot()) + "\n",
+        encoding="utf-8")
+    return [summary,
+            write_jsonl(spans, out_dir / "trace.jsonl"),
+            write_chrome_trace(spans, out_dir / "trace.chrome.json")]

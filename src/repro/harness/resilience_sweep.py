@@ -71,16 +71,59 @@ class ResilienceSweepResult:
     def report(self, solver: str, rate: float) -> ResilienceReport:
         return self.reports[(solver, rate)]
 
+    def as_dict(self) -> dict:
+        """JSON-ready sweep output (schema ``repro.resilience_sweep/v1``).
+
+        Top level: ``schema``, ``n``, ``seed``, ``rates``, ``solvers``
+        and ``cells`` — one entry per ``(solver, rate)`` in sweep order
+        with keys ``solver``, ``rate``, ``converged``, ``iterations``,
+        ``relative_residual``, ``faults``, ``retries``, ``rollbacks``,
+        ``checkpoints``, ``degraded``, ``virtual_time_s``.  The
+        test-suite cross-checks these cells against an independent
+        :class:`~repro.observe.metrics.MetricsRegistry` oracle.
+        """
+        cells = []
+        for name in self.solvers:
+            for rate in self.rates:
+                r = self.report(name, rate)
+                cells.append({
+                    "solver": name,
+                    "rate": rate,
+                    "converged": r.converged,
+                    "iterations": r.iterations,
+                    "relative_residual": r.relative_residual,
+                    "faults": len(r.fault_events),
+                    "retries": r.retries,
+                    "rollbacks": r.rollbacks,
+                    "checkpoints": r.checkpoints,
+                    "degraded": r.degraded,
+                    "virtual_time_s": r.virtual_time_s,
+                })
+        return {
+            "schema": "repro.resilience_sweep/v1",
+            "n": self.n,
+            "seed": self.seed,
+            "rates": list(self.rates),
+            "solvers": list(self.solvers),
+            "cells": cells,
+        }
+
 
 def run_resilience_sweep(n: int = 24,
                          seed: int = 7,
                          rates: tuple[float, ...] = RATES,
-                         size: int = 1) -> ResilienceSweepResult:
-    """Run every solver configuration at every fault rate."""
+                         size: int = 1,
+                         solvers=SOLVERS) -> ResilienceSweepResult:
+    """Run every solver configuration at every fault rate.
+
+    ``solvers`` is a sequence of ``(name, SolverOptions)`` pairs
+    (default: the full :data:`SOLVERS` study) — tests pass a subset to
+    keep runtimes short.
+    """
     result = ResilienceSweepResult(
         n=n, seed=seed, rates=tuple(rates),
-        solvers=tuple(name for name, _ in SOLVERS))
-    for name, options in SOLVERS:
+        solvers=tuple(name for name, _ in solvers))
+    for name, options in solvers:
         for rate in rates:
             result.reports[(name, rate)] = run_resilient(
                 options, fault_plan(rate, seed), n=n, size=size)

@@ -40,10 +40,21 @@ class HaloExchanger:
     events:
         Optional :class:`EventLog`; each call records a
         ``("halo_exchange", depth)`` event with the payload byte count.
+    tracer:
+        Optional :class:`~repro.observe.trace.Tracer`; each call emits a
+        ``halo_exchange`` span keyed by depth (null tracer by default).
     """
 
     comm: object
     events: EventLog | None = dc_field(default=None)
+    tracer: object = dc_field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.tracer is None:
+            # Deferred import: keeps repro.mesh importable without pulling
+            # the observability package in at module load.
+            from repro.observe.trace import NULL_TRACER
+            self.tracer = NULL_TRACER
 
     def exchange(self, fields: Field | list[Field], depth: int = 1) -> None:
         """Exchange depth-``depth`` halos for one or more fields.
@@ -64,11 +75,12 @@ class HaloExchanger:
             if depth > f.halo:
                 raise CommunicationError(
                     f"exchange depth {depth} exceeds field halo {f.halo}")
-        nbytes = 0
-        for f in fields:
-            nbytes += self._exchange_x(f, depth)
-        for f in fields:
-            nbytes += self._exchange_y(f, depth)
+        with self.tracer.span("halo_exchange", depth):
+            nbytes = 0
+            for f in fields:
+                nbytes += self._exchange_x(f, depth)
+            for f in fields:
+                nbytes += self._exchange_y(f, depth)
         if self.events is not None:
             self.events.record("halo_exchange", depth, bytes=nbytes)
 
@@ -88,36 +100,42 @@ class HaloExchanger:
         if isinstance(fields, Field):
             fields = [fields]
         pending = {"fields": fields, "depth": depth, "recvs": [], "bytes": 0}
-        for f in fields:
-            if depth > f.halo:
-                raise CommunicationError(
-                    f"exchange depth {depth} exceeds field halo {f.halo}")
-            t, h, a = f.tile, f.halo, f.data
-            rows = slice(h, h + t.ny)
-            if t.left is not None:
-                self.comm.send(np.ascontiguousarray(a[rows, h:h + depth]),
-                               dest=t.left, tag=_TAG_LEFT)
-                req = self.comm.irecv(source=t.left, tag=_TAG_RIGHT)
-                pending["recvs"].append((f, (rows, slice(h - depth, h)), req))
-            if t.right is not None:
-                self.comm.send(
-                    np.ascontiguousarray(a[rows, h + t.nx - depth:h + t.nx]),
-                    dest=t.right, tag=_TAG_RIGHT)
-                req = self.comm.irecv(source=t.right, tag=_TAG_LEFT)
-                pending["recvs"].append(
-                    (f, (rows, slice(h + t.nx, h + t.nx + depth)), req))
+        with self.tracer.span("halo_begin", depth):
+            for f in fields:
+                if depth > f.halo:
+                    raise CommunicationError(
+                        f"exchange depth {depth} exceeds field halo {f.halo}")
+                t, h, a = f.tile, f.halo, f.data
+                rows = slice(h, h + t.ny)
+                if t.left is not None:
+                    self.comm.send(np.ascontiguousarray(a[rows, h:h + depth]),
+                                   dest=t.left, tag=_TAG_LEFT)
+                    req = self.comm.irecv(source=t.left, tag=_TAG_RIGHT)
+                    pending["recvs"].append(
+                        (f, (rows, slice(h - depth, h)), req))
+                if t.right is not None:
+                    self.comm.send(
+                        np.ascontiguousarray(
+                            a[rows, h + t.nx - depth:h + t.nx]),
+                        dest=t.right, tag=_TAG_RIGHT)
+                    req = self.comm.irecv(source=t.right, tag=_TAG_LEFT)
+                    pending["recvs"].append(
+                        (f, (rows, slice(h + t.nx, h + t.nx + depth)), req))
         return pending
 
     def end_exchange(self, pending: dict) -> None:
         """Complete a :meth:`begin_exchange`: wait x, then run the y-phase."""
         depth = pending["depth"]
-        nbytes = 0
-        for f, region, req in pending["recvs"]:
-            got = req.wait()
-            f.data[region] = got
-            nbytes += got.nbytes * 2
-        for f in pending["fields"]:
-            nbytes += self._exchange_y(f, depth)
+        # Span named like the blocking exchange so span counts stay
+        # one-to-one with ("halo_exchange", depth) events either way.
+        with self.tracer.span("halo_exchange", depth):
+            nbytes = 0
+            for f, region, req in pending["recvs"]:
+                got = req.wait()
+                f.data[region] = got
+                nbytes += got.nbytes * 2
+            for f in pending["fields"]:
+                nbytes += self._exchange_y(f, depth)
         if self.events is not None:
             self.events.record("halo_exchange", depth, bytes=nbytes)
 

@@ -1,0 +1,157 @@
+"""Trace/metrics exporters: JSONL, Chrome ``trace_event`` and text.
+
+Three consumers, three formats:
+
+- :func:`write_jsonl` — one compact JSON object per span, sorted by
+  ``(rank, t_start, span_id)`` with sorted keys, so two deterministic
+  runs (virtual clock) produce byte-identical files — the determinism
+  invariant the test-suite asserts;
+- :func:`write_chrome_trace` — the Chrome/Perfetto ``trace_event`` JSON
+  (open in ``chrome://tracing`` or https://ui.perfetto.dev); ranks map
+  to trace threads, so a CPPCG solve renders as one lane per rank with
+  ``solve > iteration > precond > cheby_step`` stacks;
+- :func:`summary_table` / :func:`metrics_table` — human-readable text
+  for terminals and the harness report directory.
+
+All exporters take plain span iterables, so merged multi-rank traces
+(one :class:`~repro.observe.trace.Tracer` per rank) export the same way
+as single-rank ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.observe.trace import Span, sort_spans
+
+__all__ = [
+    "jsonl_lines",
+    "write_jsonl",
+    "chrome_trace",
+    "write_chrome_trace",
+    "summary_table",
+    "metrics_table",
+]
+
+#: seconds -> microseconds (the trace_event timestamp unit).
+_US = 1e6
+
+
+def _jsonable_key(key) -> object:
+    """Span keys are arbitrary hashables; JSON needs a stable scalar."""
+    if key is None or isinstance(key, (bool, int, float, str)):
+        return key
+    return repr(key)
+
+
+def jsonl_lines(spans: Iterable[Span]) -> list[str]:
+    """One compact, key-sorted JSON object per span (canonical order)."""
+    lines = []
+    for s in sort_spans(spans):
+        d = s.as_dict()
+        d["key"] = _jsonable_key(d["key"])
+        lines.append(json.dumps(d, sort_keys=True, separators=(",", ":")))
+    return lines
+
+
+def write_jsonl(spans: Iterable[Span], path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = "\n".join(jsonl_lines(spans))
+    path.write_text(text + "\n" if text else "", encoding="utf-8")
+    return path
+
+
+def chrome_trace(spans: Iterable[Span]) -> dict:
+    """Chrome ``trace_event`` document: complete ("ph: X") events.
+
+    Timestamps are microseconds; every rank becomes a thread (``tid``)
+    of one process (``pid`` 0), which is how the viewers lay out lanes.
+    """
+    events = []
+    for s in sort_spans(spans):
+        events.append({
+            "name": s.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": s.t_start * _US,
+            "dur": s.duration * _US,
+            "pid": 0,
+            "tid": s.rank,
+            "args": {
+                "key": _jsonable_key(s.key),
+                "span_id": s.span_id,
+                "parent_id": s.parent_id,
+                "depth": s.depth,
+            },
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Iterable[Span], path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(spans), sort_keys=True),
+                    encoding="utf-8")
+    return path
+
+
+def self_times(spans: Iterable[Span]) -> dict[int, float]:
+    """Exclusive duration per ``span_id``: own time minus direct children.
+
+    Clamped at zero — a ring-buffer-truncated trace can reference a
+    parent whose children outlived it in the buffer.
+    """
+    spans = list(spans)
+    durations = {s.span_id: s.duration for s in spans}
+    child_sums: dict[int, float] = {}
+    for s in spans:
+        if s.parent_id >= 0 and s.parent_id in durations:
+            child_sums[s.parent_id] = child_sums.get(s.parent_id, 0.0) \
+                + s.duration
+    return {sid: max(0.0, dur - child_sums.get(sid, 0.0))
+            for sid, dur in durations.items()}
+
+
+def summary_table(spans: Iterable[Span]) -> str:
+    """Per-name aggregate: count, total/self/mean time, sorted by total."""
+    from repro.io.tables import format_table
+
+    spans = list(spans)
+    if not spans:
+        return "(no spans recorded)"
+    exclusive = self_times(spans)
+    agg: dict[str, list[float]] = {}
+    for s in spans:
+        row = agg.setdefault(s.name, [0, 0.0, 0.0])
+        row[0] += 1
+        row[1] += s.duration
+        row[2] += exclusive[s.span_id]
+    rows = [
+        [name, count, f"{total:.6f}", f"{self_t:.6f}",
+         f"{total / count:.6f}"]
+        for name, (count, total, self_t) in sorted(
+            agg.items(), key=lambda kv: -kv[1][1])
+    ]
+    return format_table(
+        ["span", "count", "total_s", "self_s", "mean_s"], rows)
+
+
+def metrics_table(snapshot: dict) -> str:
+    """Text rendering of a :meth:`MetricsRegistry.snapshot` mapping."""
+    from repro.io.tables import format_table
+
+    rows: list[list] = []
+    for name, value in snapshot.get("counters", {}).items():
+        rows.append(["counter", name, value])
+    for name, value in snapshot.get("gauges", {}).items():
+        rows.append(["gauge", name, f"{value:g}"])
+    for name, h in snapshot.get("histograms", {}).items():
+        rows.append(["histogram", name,
+                     f"count={h['count']} sum={h['sum']:g} "
+                     f"buckets={h['counts']}"])
+    if not rows:
+        return "(no metrics recorded)"
+    return format_table(["type", "metric", "value"], rows)

@@ -1,0 +1,160 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry complements the span tracer: spans answer *where time
+went*, metrics answer *how much of what happened* — iterations to
+converge, halo bytes moved, retries absorbed.  All three instrument
+types are plain attribute arithmetic on ``__slots__`` objects, so the
+hot path (``counter.inc()``, ``histogram.observe(x)``) allocates
+nothing and costs a few attribute writes.
+
+``snapshot()`` materialises everything into one nested dict of plain
+Python scalars/lists — JSON-ready, order-stable (sorted by metric name)
+and detached from the live instruments, which is what the harness
+reports and the test oracles consume.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ITERATION_BUCKETS",
+    "BYTE_BUCKETS",
+]
+
+#: Default histogram bounds for iterations-to-converge style counts.
+ITERATION_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000)
+
+#: Default histogram bounds for payload sizes (bytes).
+BYTE_BUCKETS = (64, 512, 4096, 32768, 262144, 2097152, 16777216)
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, retries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment "
+                             f"{amount!r} (counters only go up)")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (residual norm, virtual clock, depth in use)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``len(bounds) + 1`` counters.
+
+    ``bounds`` are inclusive upper edges: an observation ``x`` lands in
+    the first bucket with ``x <= bound``, or in the overflow bucket past
+    the last bound.  Bounds are fixed at construction — no re-bucketing,
+    no allocation on ``observe``.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Iterable[float] = ITERATION_BUCKETS):
+        bounds = tuple(bounds)
+        if not bounds:
+            raise ValueError(
+                f"histogram {name!r} needs at least one bucket bound")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r} bounds must be strictly "
+                             f"increasing, got {bounds}")
+        self.name = name
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        # bisect_left gives "first bound >= value": inclusive upper edges.
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments plus ``snapshot()``.
+
+    Names are flat dotted strings (``"solve.iterations"``); an instrument
+    is created on first access and reused afterwards.  Re-requesting a
+    histogram with different bounds is an error — silent re-bucketing
+    would corrupt comparisons between runs.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] | None = None) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                name, bounds if bounds is not None else ITERATION_BUCKETS)
+        elif bounds is not None and tuple(bounds) != h.bounds:
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{h.bounds}, requested {tuple(bounds)}")
+        return h
+
+    def snapshot(self) -> dict:
+        """Detached, JSON-ready view of every instrument."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.bucket_counts),
+                    "sum": h.total,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))

@@ -1,0 +1,162 @@
+"""Traced solve drivers and metrics recorders.
+
+This is the convenience layer the CLI (``repro trace``), the harness
+report and the test-suite share: build a fully instrumented solve — one
+:class:`~repro.observe.trace.Tracer` per rank, an
+:class:`~repro.comm.instrument.InstrumentedComm` event log, and the
+stencil operator with the tracer threaded through — run it over the
+in-process SPMD world, and hand back everything an exporter or test
+oracle needs in one :class:`TraceRun`.
+
+Determinism: pass ``clock_factory=lambda rank: VirtualClock(tick=1e-6)``
+and two identical runs produce byte-identical JSONL traces (the
+invariant ``tests/test_observe.py`` locks down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observe.metrics import ITERATION_BUCKETS, MetricsRegistry
+from repro.observe.trace import Span, Tracer, sort_spans
+
+__all__ = [
+    "TraceRun",
+    "traced_solve",
+    "traced_crooked_pipe",
+    "deck_system",
+    "record_solve_metrics",
+    "record_resilience_metrics",
+]
+
+
+@dataclass
+class TraceRun:
+    """Everything one traced solve produced."""
+
+    result: object                 # rank-0 SolveResult
+    tracers: list                  # one Tracer per rank (index = rank)
+    events: object                 # rank-0 EventLog
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def spans(self) -> list[Span]:
+        """All ranks' finished spans merged in canonical order."""
+        merged: list[Span] = []
+        for t in self.tracers:
+            merged.extend(t.finished())
+        return sort_spans(merged)
+
+
+def deck_system(deck):
+    """Global ``(grid, kxg, kyg, bg)`` of a deck's first implicit step.
+
+    Mirrors what ``repro solve`` sets up: the deck's painted initial
+    state, its conductivity model and its initial timestep.
+    """
+    from repro.physics import cell_conductivity, face_coefficients
+    from repro.physics.deck import deck_to_problem
+    from repro.physics.state import global_initial_state
+
+    grid = deck.grid
+    density, _, u0 = global_initial_state(grid, deck_to_problem(deck))
+    kappa = cell_conductivity(density, deck.tl_coefficient)
+    rx = deck.initial_timestep / grid.dx ** 2
+    ry = deck.initial_timestep / grid.dy ** 2
+    kxg, kyg = face_coefficients(kappa, rx, ry)
+    return grid, kxg, kyg, u0
+
+
+def traced_solve(grid, kxg, kyg, bg, options, *,
+                 size: int = 1,
+                 clock_factory=None,
+                 capacity: int = 1 << 16) -> TraceRun:
+    """Solve a global system with per-rank tracing over ``size`` ranks.
+
+    ``clock_factory``: optional ``rank -> callable`` producing each
+    tracer's clock (default: wall ``time.perf_counter``).
+    """
+    from repro.comm import InstrumentedComm, launch_spmd
+    from repro.mesh import Field, decompose
+    from repro.solvers import StencilOperator2D, solve_linear
+    from repro.utils import EventLog
+
+    halo = options.required_field_halo
+
+    def rank_main(comm):
+        clock = clock_factory(comm.rank) if clock_factory is not None \
+            else None
+        tracer = Tracer(clock=clock, rank=comm.rank, capacity=capacity)
+        log = EventLog()
+        comm = InstrumentedComm(comm, log, tracer=tracer)
+        tile = decompose(grid, comm.size)[comm.rank]
+        op = StencilOperator2D.from_global_faces(
+            tile, halo, kxg, kyg, comm, events=log, tracer=tracer)
+        b = Field.from_global(tile, halo, bg)
+        result = solve_linear(op, b, options=options)
+        return result, log, tracer
+
+    results = launch_spmd(rank_main, size)
+    run = TraceRun(result=results[0][0], events=results[0][1],
+                   tracers=[r[2] for r in results])
+    record_solve_metrics(run.metrics, run.result, run.events)
+    return run
+
+
+def traced_crooked_pipe(n: int = 24, options=None, **kwargs) -> TraceRun:
+    """Traced solve of the crooked-pipe first implicit step (CG default)."""
+    from repro.solvers import SolverOptions
+    from repro.testing import crooked_pipe_system
+
+    grid, kxg, kyg, bg = crooked_pipe_system(n)
+    if options is None:
+        options = SolverOptions(solver="cg")
+    return traced_solve(grid, kxg, kyg, bg, options, **kwargs)
+
+
+def record_solve_metrics(registry: MetricsRegistry, result, events) -> None:
+    """Fill ``registry`` from a solve result plus its event log.
+
+    Recorded names (the schema the harness/tests consume):
+
+    - counters ``solve.iterations``, ``solve.inner_iterations``,
+      ``solve.allreduces``, ``solve.halo_exchanges``, ``solve.retries``;
+    - gauges ``solve.residual_norm``, ``solve.converged`` (0/1);
+    - histogram ``solve.iterations_hist`` on :data:`ITERATION_BUCKETS`;
+    - counter ``comm.halo_bytes`` (total exchanged payload).
+    """
+    from repro.comm.instrument import RETRY_KIND
+
+    registry.counter("solve.iterations").inc(result.iterations)
+    registry.counter("solve.inner_iterations").inc(result.inner_iterations)
+    registry.counter("solve.allreduces").inc(events.count_kind("allreduce"))
+    registry.counter("solve.halo_exchanges").inc(
+        events.count_kind("halo_exchange"))
+    registry.counter("solve.retries").inc(events.count_kind(RETRY_KIND))
+    registry.counter("comm.halo_bytes").inc(
+        int(events.total("halo_exchange", "bytes")))
+    registry.gauge("solve.residual_norm").set(result.residual_norm)
+    registry.gauge("solve.converged").set(1.0 if result.converged else 0.0)
+    registry.histogram("solve.iterations_hist",
+                       ITERATION_BUCKETS).observe(result.iterations)
+
+
+def record_resilience_metrics(registry: MetricsRegistry, report) -> None:
+    """Fill ``registry`` from one :class:`ResilienceReport`.
+
+    The counters mirror the cell schema of
+    :meth:`~repro.harness.resilience_sweep.ResilienceSweepResult.as_dict`,
+    which is how the test-suite uses this as an independent oracle.
+    """
+    registry.counter("resilience.iterations").inc(report.iterations)
+    registry.counter("resilience.faults").inc(len(report.fault_events))
+    registry.counter("resilience.retries").inc(report.retries)
+    registry.counter("resilience.rollbacks").inc(report.rollbacks)
+    registry.counter("resilience.checkpoints").inc(report.checkpoints)
+    registry.gauge("resilience.relative_residual").set(
+        report.relative_residual)
+    registry.gauge("resilience.converged").set(
+        1.0 if report.converged else 0.0)
+    registry.gauge("resilience.degraded").set(
+        1.0 if report.degraded else 0.0)
+    registry.gauge("resilience.virtual_time_s").set(report.virtual_time_s)

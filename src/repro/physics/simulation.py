@@ -57,6 +57,8 @@ class SimulationReport:
     steps: list[StepStats]
     temperature: np.ndarray | None  # global (ny, nx), on the caller
     events: EventLog
+    #: per-rank tracers when run_simulation was given a tracer_factory
+    tracers: list = field(default_factory=list)
 
     @property
     def n_steps(self) -> int:
@@ -85,13 +87,20 @@ class Simulation:
         conductivity: Conductivity | str = Conductivity.RECIP_DENSITY,
         face_mean: str = "harmonic",
         warm_start: bool = True,
+        tracer=None,
     ):
         check_positive("dt", dt)
         self.events = EventLog()
+        if tracer is None:
+            # Deferred import: the physics driver stays importable without
+            # loading the observability package.
+            from repro.observe.trace import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
         # Wrap the communicator so reductions/messages land in the event log
         # alongside the mesh-level halo-exchange events.
         from repro.comm.instrument import InstrumentedComm
-        comm = InstrumentedComm(comm, self.events)
+        comm = InstrumentedComm(comm, self.events, tracer=tracer)
         self.comm = comm
         self.grid = grid
         self.options = options if options is not None else SolverOptions()
@@ -102,7 +111,8 @@ class Simulation:
 
         self.tile: Tile = decompose(grid, comm.size)[comm.rank]
         halo = self.options.required_field_halo
-        self.exchanger = HaloExchanger(comm, events=self.events)
+        self.exchanger = HaloExchanger(comm, events=self.events,
+                                       tracer=tracer)
 
         density_g, energy_g, _ = global_initial_state(grid, problem)
         self.fields = build_fields(self.tile, halo, density_g, energy_g)
@@ -114,7 +124,8 @@ class Simulation:
             model=conductivity, mean=face_mean)
         self.op = StencilOperator2D(kx=kx, ky=ky, comm=comm,
                                     exchanger=self.exchanger,
-                                    events=self.events)
+                                    events=self.events,
+                                    tracer=tracer)
 
     @property
     def u(self) -> Field:
@@ -155,15 +166,17 @@ class Simulation:
 
     def step(self) -> StepStats:
         """Advance one implicit step: solve ``A u_new = u_old``."""
-        b = self.u.copy()
-        x0 = self.u if self.warm_start else None
-        result = solve_linear(self.op, b, x0, options=self.options)
-        if not result.converged:
-            raise ConvergenceError(
-                f"step {self.step_index}: {result.summary()}", result=result)
-        self.fields["u"] = result.x
-        self.step_index += 1
-        self.time += self.dt
+        with self.tracer.span("step", self.step_index):
+            b = self.u.copy()
+            x0 = self.u if self.warm_start else None
+            result = solve_linear(self.op, b, x0, options=self.options)
+            if not result.converged:
+                raise ConvergenceError(
+                    f"step {self.step_index}: {result.summary()}",
+                    result=result)
+            self.fields["u"] = result.x
+            self.step_index += 1
+            self.time += self.dt
         return StepStats(
             step=self.step_index,
             time=self.time,
@@ -272,6 +285,7 @@ def run_simulation(
     gather_temperature: bool = True,
     checkpoint_interval: int = 0,
     max_step_retries: int = 0,
+    tracer_factory=None,
 ) -> SimulationReport:
     """Run the mini-app over an ``nranks``-rank in-process world.
 
@@ -279,18 +293,26 @@ def run_simulation(
     (representative — the perfmodel scales by topology), and the gathered
     global temperature field.  ``checkpoint_interval``/``max_step_retries``
     enable step-level checkpoint/retry (see :meth:`Simulation.run`).
+
+    ``tracer_factory``: optional ``rank -> Tracer`` callable; each rank's
+    :class:`Simulation` is instrumented with its tracer and the report's
+    ``tracers`` list carries them back (index = rank) for export.
     """
 
     def rank_main(comm):
+        tracer = tracer_factory(comm.rank) if tracer_factory is not None \
+            else None
         sim = Simulation(comm, grid, problem, options, dt=dt,
                          conductivity=conductivity, face_mean=face_mean,
-                         warm_start=warm_start)
+                         warm_start=warm_start, tracer=tracer)
         steps = sim.run(n_steps, checkpoint_interval=checkpoint_interval,
                         max_step_retries=max_step_retries)
         temp = sim.gather_temperature(root=0) if gather_temperature else None
-        return steps, temp, sim.events
+        return steps, temp, sim.events, sim.tracer
 
     results = launch_spmd(rank_main, nranks)
-    steps0, temp0, events0 = results[0]
+    steps0, temp0, events0, _ = results[0]
+    tracers = [r[3] for r in results] if tracer_factory is not None else []
     return SimulationReport(grid=grid, dt=dt, steps=steps0,
-                            temperature=temp0, events=events0)
+                            temperature=temp0, events=events0,
+                            tracers=tracers)

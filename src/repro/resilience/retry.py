@@ -38,13 +38,27 @@ class VirtualClock:
     Shared between :class:`RetryingComm` (backoff sleeps) and
     :class:`~repro.resilience.faults.FaultyComm` (``delay`` faults) so a
     run's total injected latency is a single inspectable number.
+
+    The instance is also **callable** (returns ``now``), so the same
+    clock plugs into :class:`~repro.observe.trace.Tracer` and
+    :class:`~repro.utils.timing.Timer`, making traces and timings of a
+    run deterministic.  A non-zero ``tick`` advances ``now`` by that
+    much on every *read*, which keeps deterministic timestamps strictly
+    monotonic (distinct) without any wall-clock dependence; ``tick = 0``
+    preserves the historical behaviour exactly.
     """
 
-    def __init__(self):
+    def __init__(self, tick: float = 0.0):
         self.now = 0.0
+        self.tick = tick
 
     def sleep(self, seconds: float) -> None:
         self.now += seconds
+
+    def __call__(self) -> float:
+        t = self.now
+        self.now += self.tick
+        return t
 
 
 class RetryingComm(Communicator):

@@ -113,6 +113,8 @@ def cg_solve(
     check_finite_field("x0", x0)
     M = preconditioner if preconditioner is not None else IdentityPreconditioner(op)
     identity = isinstance(M, IdentityPreconditioner)
+    from repro.observe.trace import tracer_of
+    tracer = tracer_of(op)
 
     x = x0.copy() if x0 is not None else op.new_field()
     r = op.new_field()
@@ -125,7 +127,8 @@ def cg_solve(
         rr = rz
     else:
         z = op.new_field()
-        M.apply(r, z)
+        with tracer.span("precond", solver_name):
+            M.apply(r, z)
         rz, rr = op.dots([(r, z), (r, r)])
     p = z.copy()
 
@@ -143,58 +146,64 @@ def cg_solve(
     res_norm = r0_norm
 
     while not converged and iterations < max_iters:
-        if guard is not None:
-            guard.begin(iterations)
-            if guard.due(iterations):
-                guard.save(iterations,
-                           fields={"x": x, "r": r, "p": p},
-                           scalars={"rz": rz, "rr": rr,
-                                    "pa": precond_applies,
-                                    "steps": len(alphas)})
-        op.apply(p, w)
-        (pw,) = op.dots([(p, w)])
-        if guard is not None and not (np.isfinite(pw) and pw > 0.0):
-            # Corrupted reduction or perturbed direction vector: restore
-            # the last checkpoint and replay (the fault stream has moved
-            # on, so the replayed iterations see clean communication).
-            snap = guard.rollback(f"<p, Ap> = {pw:.3e}")
-            iterations, rz, rr, precond_applies, res_norm = _rewind(
-                snap, alphas, betas, history)
-            continue
-        if pw <= 0.0:
-            raise ConvergenceError(
-                f"CG breakdown: <p, Ap> = {pw:.3e} <= 0 (operator not SPD?)")
-        alpha = rz / pw
-        x.interior += alpha * p.interior
-        r.interior -= alpha * w.interior
-        if identity:
-            (rz_new,) = op.dots([(r, r)])
-            rr = rz_new
-        else:
-            M.apply(r, z)
-            precond_applies += 1
-            rz_new, rr = op.dots([(r, z), (r, r)])
-        beta = rz_new / rz
-        alphas.append(float(alpha))
-        betas.append(float(beta))
-        iterations += 1
-        res_norm = float(np.sqrt(rr))
-        history.append(res_norm)
-        if guard is not None and not guard.healthy(res_norm):
-            snap = guard.rollback(f"residual norm {res_norm:.3e}")
-            iterations, rz, rr, precond_applies, res_norm = _rewind(
-                snap, alphas, betas, history)
-            continue
-        if not np.isfinite(res_norm):
-            raise ConvergenceError(
-                f"CG diverged at iteration {iterations}: residual is "
-                "non-finite (indefinite preconditioner or bad eigenvalue "
-                "bounds?)")
-        if res_norm <= threshold:
-            converged = True
-            break
-        p.interior[...] = z.interior + beta * p.interior
-        rz = rz_new
+        # The span covers the full loop body, so ``iteration`` spans are
+        # strict parents of the halo/allreduce/precond spans within —
+        # `continue`/`break`/raise all close it cleanly.
+        with tracer.span("iteration", solver_name):
+            if guard is not None:
+                guard.begin(iterations)
+                if guard.due(iterations):
+                    guard.save(iterations,
+                               fields={"x": x, "r": r, "p": p},
+                               scalars={"rz": rz, "rr": rr,
+                                        "pa": precond_applies,
+                                        "steps": len(alphas)})
+            op.apply(p, w)
+            (pw,) = op.dots([(p, w)])
+            if guard is not None and not (np.isfinite(pw) and pw > 0.0):
+                # Corrupted reduction or perturbed direction vector: restore
+                # the last checkpoint and replay (the fault stream has moved
+                # on, so the replayed iterations see clean communication).
+                snap = guard.rollback(f"<p, Ap> = {pw:.3e}")
+                iterations, rz, rr, precond_applies, res_norm = _rewind(
+                    snap, alphas, betas, history)
+                continue
+            if pw <= 0.0:
+                raise ConvergenceError(
+                    f"CG breakdown: <p, Ap> = {pw:.3e} <= 0 "
+                    "(operator not SPD?)")
+            alpha = rz / pw
+            x.interior += alpha * p.interior
+            r.interior -= alpha * w.interior
+            if identity:
+                (rz_new,) = op.dots([(r, r)])
+                rr = rz_new
+            else:
+                with tracer.span("precond", solver_name):
+                    M.apply(r, z)
+                precond_applies += 1
+                rz_new, rr = op.dots([(r, z), (r, r)])
+            beta = rz_new / rz
+            alphas.append(float(alpha))
+            betas.append(float(beta))
+            iterations += 1
+            res_norm = float(np.sqrt(rr))
+            history.append(res_norm)
+            if guard is not None and not guard.healthy(res_norm):
+                snap = guard.rollback(f"residual norm {res_norm:.3e}")
+                iterations, rz, rr, precond_applies, res_norm = _rewind(
+                    snap, alphas, betas, history)
+                continue
+            if not np.isfinite(res_norm):
+                raise ConvergenceError(
+                    f"CG diverged at iteration {iterations}: residual is "
+                    "non-finite (indefinite preconditioner or bad eigenvalue "
+                    "bounds?)")
+            if res_norm <= threshold:
+                converged = True
+                break
+            p.interior[...] = z.interior + beta * p.interior
+            rz = rz_new
 
     if not converged and raise_on_stall:
         raise stall_error(solver_name, iterations, res_norm, reference, eps)

@@ -143,12 +143,18 @@ class ChebyshevIteration:
             return
         op, n = self.op, self.n
         extended = self._pointwise_M and n >= 1
+        from repro.observe.trace import tracer_of
+        tracer = tracer_of(op)
+        # Named "cheby_step", not "iteration": under CPPCG these nest
+        # inside the outer CG's precond span and must not inflate its
+        # iteration count.
         for _ in range(steps):
-            if extended:
-                self._step_extended()
-            else:
-                self._step_interior()
-            self.steps_done += 1
+            with tracer.span("cheby_step", n):
+                if extended:
+                    self._step_extended()
+                else:
+                    self._step_interior()
+                self.steps_done += 1
 
     # -- matrix-powers (extended bounds) stepping ----------------------------------
 

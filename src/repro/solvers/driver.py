@@ -43,6 +43,12 @@ def solve_linear(
                             divergence_ratio=opt.guard_divergence_ratio,
                             max_rollbacks=opt.guard_max_rollbacks)
 
+    from repro.observe.trace import tracer_of
+    with tracer_of(op).span("solve", opt.solver):
+        return _dispatch(op, b, x0, opt, guard)
+
+
+def _dispatch(op, b, x0, opt, guard) -> SolveResult:
     if opt.solver == "jacobi":
         return jacobi_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters)
     if opt.solver == "cg":

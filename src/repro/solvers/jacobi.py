@@ -58,14 +58,17 @@ def jacobi_solve(
     iterations = 0
     res_norm = r0_norm
 
+    from repro.observe.trace import tracer_of
+    tracer = tracer_of(op)
     while not converged and iterations < max_iters:
-        x.interior += inv_diag * r.interior
-        op.residual(b, x, out=r)
-        rr = op.dot(r, r)
-        iterations += 1
-        res_norm = float(np.sqrt(rr))
-        history.append(res_norm)
-        converged = res_norm <= threshold
+        with tracer.span("iteration", "jacobi"):
+            x.interior += inv_diag * r.interior
+            op.residual(b, x, out=r)
+            rr = op.dot(r, r)
+            iterations += 1
+            res_norm = float(np.sqrt(rr))
+            history.append(res_norm)
+            converged = res_norm <= threshold
 
     return SolveResult(
         x=x,

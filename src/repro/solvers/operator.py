@@ -70,6 +70,10 @@ class StencilOperator2D:
         Halo exchanger used for the depth-1 exchange inside :meth:`apply`.
     events:
         Event log shared by the operator, exchanger and solvers.
+    tracer:
+        Optional :class:`~repro.observe.trace.Tracer`, shared with the
+        exchanger; the stencil emits ``stencil`` spans, solvers read it
+        for ``iteration``/``precond`` spans (null tracer by default).
     """
 
     kx: Field
@@ -77,14 +81,25 @@ class StencilOperator2D:
     comm: Communicator
     exchanger: HaloExchanger = None
     events: EventLog = dc_field(default_factory=EventLog)
+    tracer: object = dc_field(default=None)
 
     def __post_init__(self):
         if self.kx.tile != self.ky.tile or self.kx.halo != self.ky.halo:
             raise ConfigurationError("kx/ky fields must share tile and halo")
+        if self.tracer is None:
+            # Deferred import: keeps the solver core importable without
+            # loading the observability package at module import time.
+            from repro.observe.trace import NULL_TRACER
+            self.tracer = NULL_TRACER
         if self.exchanger is None:
-            self.exchanger = HaloExchanger(self.comm, events=self.events)
-        elif self.exchanger.events is None:
-            self.exchanger.events = self.events
+            self.exchanger = HaloExchanger(self.comm, events=self.events,
+                                           tracer=self.tracer)
+        else:
+            if self.exchanger.events is None:
+                self.exchanger.events = self.events
+            if getattr(self.exchanger, "tracer", None) is None \
+                    or not self.exchanger.tracer.enabled:
+                self.exchanger.tracer = self.tracer
 
     # -- construction ---------------------------------------------------------
 
@@ -97,6 +112,7 @@ class StencilOperator2D:
         ky_global: np.ndarray,
         comm: Communicator,
         events: EventLog | None = None,
+        tracer=None,
     ) -> "StencilOperator2D":
         """Build the rank-local operator from global face arrays.
 
@@ -110,7 +126,8 @@ class StencilOperator2D:
         embed_global(kx.data, kx_global, tile.y0 - halo, tile.x0 - halo)
         embed_global(ky.data, ky_global, tile.y0 - halo, tile.x0 - halo)
         return cls(kx=kx, ky=ky, comm=comm,
-                   events=events if events is not None else EventLog())
+                   events=events if events is not None else EventLog(),
+                   tracer=tracer)
 
     # -- geometry helpers --------------------------------------------------------
 
@@ -141,19 +158,20 @@ class StencilOperator2D:
         """
         rows, cols = self._region(ext)
         r0, r1, c0, c1 = rows.start, rows.stop, cols.start, cols.stop
-        pd, kxd, kyd = p.data, self.kx.data, self.ky.data
-        pc = pd[r0:r1, c0:c1]
-        ky_lo = kyd[r0:r1, c0:c1]
-        ky_hi = kyd[r0 + 1:r1 + 1, c0:c1]
-        kx_lo = kxd[r0:r1, c0:c1]
-        kx_hi = kxd[r0:r1, c0 + 1:c1 + 1]
-        out.data[r0:r1, c0:c1] = (
-            (1.0 + ky_hi + ky_lo + kx_hi + kx_lo) * pc
-            - ky_hi * pd[r0 + 1:r1 + 1, c0:c1]
-            - ky_lo * pd[r0 - 1:r1 - 1, c0:c1]
-            - kx_hi * pd[r0:r1, c0 + 1:c1 + 1]
-            - kx_lo * pd[r0:r1, c0 - 1:c1 - 1]
-        )
+        with self.tracer.span("stencil", ext):
+            pd, kxd, kyd = p.data, self.kx.data, self.ky.data
+            pc = pd[r0:r1, c0:c1]
+            ky_lo = kyd[r0:r1, c0:c1]
+            ky_hi = kyd[r0 + 1:r1 + 1, c0:c1]
+            kx_lo = kxd[r0:r1, c0:c1]
+            kx_hi = kxd[r0:r1, c0 + 1:c1 + 1]
+            out.data[r0:r1, c0:c1] = (
+                (1.0 + ky_hi + ky_lo + kx_hi + kx_lo) * pc
+                - ky_hi * pd[r0 + 1:r1 + 1, c0:c1]
+                - ky_lo * pd[r0 - 1:r1 - 1, c0:c1]
+                - kx_hi * pd[r0:r1, c0 + 1:c1 + 1]
+                - kx_lo * pd[r0:r1, c0 - 1:c1 - 1]
+            )
         self.events.record("matvec", None,
                            cells=(r1 - r0) * (c1 - c0))
 

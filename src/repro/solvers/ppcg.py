@@ -141,9 +141,12 @@ def ppcg_solve(
             "(halo_depth > 1); see paper §IV-C2")
 
     local_M = make_local_preconditioner(op, inner_preconditioner)
-    warmup = cg_solve(op, b, x0, eps=eps, max_iters=warmup_iters,
-                      preconditioner=local_M, solver_name="ppcg",
-                      guard=guard)
+    from repro.observe.trace import tracer_of
+    tracer = tracer_of(op)
+    with tracer.span("phase", "warmup"):
+        warmup = cg_solve(op, b, x0, eps=eps, max_iters=warmup_iters,
+                          preconditioner=local_M, solver_name="ppcg",
+                          guard=guard)
     if warmup.converged:
         warmup.warmup_iterations = warmup.iterations
         warmup.iterations = 0
@@ -183,15 +186,16 @@ def ppcg_solve(
             chunk = min(chunk, int(4 * predicted) + 20)
         breakdown: ConvergenceError | None = None
         try:
-            outer = cg_solve(
-                op, b, current_x,
-                eps=eps,
-                max_iters=chunk,
-                preconditioner=cheby,
-                reference_norm=reference,
-                solver_name="ppcg",
-                guard=guard,
-            )
+            with tracer.span("phase", "outer"):
+                outer = cg_solve(
+                    op, b, current_x,
+                    eps=eps,
+                    max_iters=chunk,
+                    preconditioner=cheby,
+                    reference_norm=reference,
+                    solver_name="ppcg",
+                    guard=guard,
+                )
         except CommunicationError:
             if degrade and depth > 1:
                 # The deep exchanges of the matrix powers kernel keep
@@ -230,9 +234,11 @@ def ppcg_solve(
         # Restart: widen the interval and re-estimate from where we are.
         restarts += 1
         safety = (safety[0] * 0.85, safety[1] * 1.25)
-        rewarm = cg_solve(op, b, current_x, eps=eps, max_iters=warmup_iters,
-                          reference_norm=reference, solver_name="ppcg",
-                          guard=guard)
+        with tracer.span("phase", "rewarm"):
+            rewarm = cg_solve(op, b, current_x, eps=eps,
+                              max_iters=warmup_iters,
+                              reference_norm=reference, solver_name="ppcg",
+                              guard=guard)
         extra_warmup += rewarm.iterations
         history_prefix += rewarm.history[1:]
         current_x = rewarm.x
@@ -251,9 +257,11 @@ def ppcg_solve(
         # Graceful degradation: finish the solve with plain CG — slower,
         # but immune to bad spectrum bounds (the stopping criterion is
         # unchanged: same eps against the same reference norm).
-        outer = cg_solve(op, b, current_x, eps=eps, max_iters=max(budget, 1),
-                         reference_norm=reference, solver_name="ppcg",
-                         guard=guard)
+        with tracer.span("phase", "fallback_cg"):
+            outer = cg_solve(op, b, current_x, eps=eps,
+                             max_iters=max(budget, 1),
+                             reference_norm=reference, solver_name="ppcg",
+                             guard=guard)
         history_prefix += outer.history[1:]
         current_x = outer.x
 

@@ -4,11 +4,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 @dataclass
 class Timer:
-    """Accumulating stopwatch.
+    """Accumulating stopwatch on a pluggable clock.
+
+    ``clock`` is any zero-argument callable returning monotonic seconds
+    — :func:`time.perf_counter` by default, or a
+    :class:`~repro.resilience.retry.VirtualClock` so harness timings and
+    :class:`~repro.observe.trace.Tracer` spans can share one
+    deterministic clock in tests.
 
     Usage::
 
@@ -19,18 +26,19 @@ class Timer:
     """
 
     elapsed: float = 0.0
+    clock: Callable[[], float] = time.perf_counter
     _start: float | None = field(default=None, repr=False)
 
     def start(self) -> "Timer":
         if self._start is not None:
             raise RuntimeError("Timer already running")
-        self._start = time.perf_counter()
+        self._start = self.clock()
         return self
 
     def stop(self) -> float:
         if self._start is None:
             raise RuntimeError("Timer not running")
-        self.elapsed += time.perf_counter() - self._start
+        self.elapsed += self.clock() - self._start
         self._start = None
         return self.elapsed
 

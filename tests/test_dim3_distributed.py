@@ -29,6 +29,8 @@ from repro.solvers import (
 from repro.solvers.dim3 import StencilOperator3D
 from repro.utils import CommunicationError, ConfigurationError, EventLog
 
+pytestmark = pytest.mark.distributed
+
 
 def system_3d(n=12, seed=3, rx=0.5):
     rng = np.random.default_rng(seed)

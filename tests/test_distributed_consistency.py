@@ -17,6 +17,8 @@ from tests.helpers import (
     reference_solution,
 )
 
+pytestmark = pytest.mark.distributed
+
 N = 32
 EPS = 1e-11
 

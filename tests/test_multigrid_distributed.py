@@ -21,6 +21,8 @@ from tests.helpers import (
     serial_operator,
 )
 
+pytestmark = pytest.mark.distributed
+
 
 def run_dmgcg(g, kx, ky, bg, size, **kwargs):
     def rank_main(comm):

@@ -16,6 +16,8 @@ from repro.physics.simulation3d import (
 from repro.physics.state3d import build_coefficient_fields_3d, build_fields_3d
 from repro.utils import CommunicationError, ConfigurationError
 
+pytestmark = pytest.mark.distributed
+
 
 def density_energy(grid, regions):
     density = np.empty(grid.shape)

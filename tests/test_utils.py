@@ -115,6 +115,32 @@ class TestTimer:
         t.reset()
         assert t.elapsed == 0.0
 
+    def test_pluggable_clock_is_deterministic(self):
+        from repro.resilience import VirtualClock
+
+        clock = VirtualClock()
+        t = Timer(clock=clock)
+        t.start()
+        clock.sleep(2.5)
+        t.stop()
+        assert t.elapsed == 2.5
+        with t:
+            clock.sleep(0.5)
+        assert t.elapsed == 3.0  # accumulates across windows
+
+    def test_default_clock_is_perf_counter(self):
+        assert Timer().clock is time.perf_counter
+
+    def test_reset_keeps_clock(self):
+        ticks = iter(range(10))
+        t = Timer(clock=lambda: float(next(ticks)))
+        with t:
+            pass
+        t.reset()
+        with t:
+            pass
+        assert t.elapsed == 1.0  # reads 2 -> 3 on the injected clock
+
 
 class TestValidation:
     def test_require_passes(self):
