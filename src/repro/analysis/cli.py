@@ -60,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="route the verify solves through the resilient "
                              "comm stack (retry + disabled fault injector); "
                              "implies --verify")
+    parser.add_argument("--verify-integrity", action="store_true",
+                        help="route the verify solves through the "
+                             "checksummed-envelope stack with a durably "
+                             "checkpointing guard; implies --verify")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -106,12 +110,14 @@ def main(argv: list[str] | None = None) -> int:
         else root / config.baseline
 
     verify_reports = None
-    if args.verify or args.verify_only or args.verify_resilience:
+    if args.verify or args.verify_only or args.verify_resilience \
+            or args.verify_integrity:
         from repro.analysis.verify import verify_contracts
         try:
             verify_reports = verify_contracts(
                 n=args.verify_size, names=args.verify_solver or None,
-                resilience=args.verify_resilience)
+                resilience=args.verify_resilience,
+                integrity=args.verify_integrity)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -84,7 +84,7 @@ class VerifySpec:
     module: str           # dotted module whose COMM_CONTRACT applies
     halo: int             # field halo depth the run needs
     iters: tuple[int, int]  # the two iteration budgets to difference
-    run: Callable         # (op, b, bounds, max_iters) -> SolveResult
+    run: Callable         # (op, b, bounds, max_iters, guard=None) -> SolveResult
     expected: Callable    # (contract) -> (allreduces, halos) per iteration
     detail: str = ""
 
@@ -131,58 +131,59 @@ def default_specs() -> list[VerifySpec]:
     return [
         VerifySpec(
             "cg", "repro.solvers.cg", halo=1, iters=(4, 12),
-            run=lambda op, b, bounds, k: cg_solve(
-                op, b, eps=EPS_NEVER, max_iters=k),
+            run=lambda op, b, bounds, k, guard=None: cg_solve(
+                op, b, eps=EPS_NEVER, max_iters=k, guard=guard),
             expected=per_iter),
         VerifySpec(
             "cg_fused", "repro.solvers.cg_fused", halo=1, iters=(4, 12),
-            run=lambda op, b, bounds, k: cg_fused_solve(
+            run=lambda op, b, bounds, k, guard=None: cg_fused_solve(
                 op, b, eps=EPS_NEVER, max_iters=k),
             expected=per_iter),
         VerifySpec(
             "jacobi", "repro.solvers.jacobi", halo=1, iters=(5, 15),
-            run=lambda op, b, bounds, k: jacobi_solve(
+            run=lambda op, b, bounds, k, guard=None: jacobi_solve(
                 op, b, eps=EPS_NEVER, max_iters=k),
             expected=per_iter),
         VerifySpec(
             "chebyshev", "repro.solvers.chebyshev", halo=1, iters=(20, 60),
-            run=lambda op, b, bounds, k: chebyshev_solve(
+            run=lambda op, b, bounds, k, guard=None: chebyshev_solve(
                 op, b, eps=EPS_NEVER, max_iters=k, warmup_iters=8,
-                check_interval=10, bounds=bounds),
+                check_interval=10, bounds=bounds, guard=guard),
             expected=cheby_expected(depth=1),
             detail="check_interval=10"),
         VerifySpec(
             "chebyshev[depth=4]", "repro.solvers.chebyshev", halo=4,
             iters=(20, 60),
-            run=lambda op, b, bounds, k: chebyshev_solve(
+            run=lambda op, b, bounds, k, guard=None: chebyshev_solve(
                 op, b, eps=EPS_NEVER, max_iters=k, warmup_iters=8,
-                check_interval=10, halo_depth=4, bounds=bounds),
+                check_interval=10, halo_depth=4, bounds=bounds, guard=guard),
             expected=cheby_expected(depth=4),
             detail="matrix powers, check_interval=10"),
         VerifySpec(
             "ppcg", "repro.solvers.ppcg", halo=1, iters=(3, 9),
-            run=lambda op, b, bounds, k: ppcg_solve(
+            run=lambda op, b, bounds, k, guard=None: ppcg_solve(
                 op, b, eps=EPS_NEVER, max_iters=k, inner_steps=4,
-                warmup_iters=8, bounds=bounds),
+                warmup_iters=8, bounds=bounds, guard=guard),
             expected=ppcg_expected(inner=4, depth=1),
             detail="inner_steps=4"),
         VerifySpec(
             "ppcg[depth=4]", "repro.solvers.ppcg", halo=4, iters=(3, 9),
-            run=lambda op, b, bounds, k: ppcg_solve(
+            run=lambda op, b, bounds, k, guard=None: ppcg_solve(
                 op, b, eps=EPS_NEVER, max_iters=k, inner_steps=8,
-                halo_depth=4, warmup_iters=8, bounds=bounds),
+                halo_depth=4, warmup_iters=8, bounds=bounds, guard=guard),
             expected=ppcg_expected(inner=8, depth=4),
             detail="matrix powers, inner_steps=8"),
         VerifySpec(
             "dcg", "repro.solvers.deflation", halo=1, iters=(4, 12),
-            run=lambda op, b, bounds, k: deflated_cg_solve(
+            run=lambda op, b, bounds, k, guard=None: deflated_cg_solve(
                 op, b, eps=EPS_NEVER, max_iters=k, blocks=(2, 2)),
             expected=per_iter),
     ]
 
 
 def _measure(spec: VerifySpec, n: int,
-             resilience: bool = False) -> tuple[float, float, int]:
+             resilience: bool = False,
+             integrity: bool = False) -> tuple[float, float, int]:
     """Per-iteration (allreduces, halos) for one spec via window deltas.
 
     With ``resilience=True`` the solve is routed through the canonical
@@ -190,6 +191,16 @@ def _measure(spec: VerifySpec, n: int,
     with a disabled :class:`~repro.resilience.faults.FaultPlan`) instead
     of a bare instrumented communicator — proving the retry/injection
     layers are contract-transparent when no faults fire.
+
+    ``integrity=True`` additionally inserts the checksummed-envelope
+    layer (:class:`~repro.resilience.integrity.ChecksumComm`) into the
+    stack *and* runs the solve under a durably checkpointing
+    :class:`~repro.resilience.guard.SolverGuard` (interval 5, shards in a
+    throwaway directory) — proving that checksum framing, duplicate-lane
+    reductions and checkpointing leave the first-attempt per-iteration
+    communication budget untouched (recovery-path collectives are logged
+    under :data:`~repro.utils.events.RECOVERY_KIND` and therefore do not
+    pollute the measured counts).
     """
     from repro.comm import EventWindow, InstrumentedComm, SerialComm
     from repro.mesh import Field, decompose
@@ -203,18 +214,28 @@ def _measure(spec: VerifySpec, n: int,
 
     def one_run(max_iters: int) -> tuple[int, int, int]:
         log = EventLog()
-        if resilience:
+        guard = None
+        if resilience or integrity:
             from repro.resilience import FaultPlan, build_resilient_comm
             comm = build_resilient_comm(SerialComm(), FaultPlan.disabled(),
-                                        events=log).comm
+                                        events=log,
+                                        integrity=integrity).comm
         else:
             comm = InstrumentedComm(SerialComm(), log)
+        if integrity:
+            import tempfile
+
+            from repro.resilience import SolverCheckpointStore
+            from repro.resilience.guard import SolverGuard
+            store = SolverCheckpointStore(tempfile.mkdtemp(
+                prefix="repro-verify-"), rank=0)
+            guard = SolverGuard(checkpoint_interval=5, store=store)
         tile = decompose(grid, 1)[0]
         op = StencilOperator2D.from_global_faces(
             tile, spec.halo, kxg, kyg, comm, events=log)
         b = Field.from_global(tile, spec.halo, bg)
         with EventWindow(log) as w:
-            result = spec.run(op, b, bounds, max_iters)
+            result = spec.run(op, b, bounds, max_iters, guard=guard)
         return (w.count_kind("allreduce"), w.count_kind("halo_exchange"),
                 result.iterations)
 
@@ -231,13 +252,17 @@ def _measure(spec: VerifySpec, n: int,
 def verify_contracts(n: int = 32,
                      specs: list[VerifySpec] | None = None,
                      names: list[str] | None = None,
-                     resilience: bool = False) -> list[VerifyReport]:
+                     resilience: bool = False,
+                     integrity: bool = False) -> list[VerifyReport]:
     """Measure every solver configuration against its ``COMM_CONTRACT``.
 
     ``resilience=True`` routes each measurement through the resilient
     communicator stack with fault injection disabled (see
     :func:`_measure`); any contract drift introduced by the wrappers
-    shows up as an ordinary verify mismatch.
+    shows up as an ordinary verify mismatch.  ``integrity=True`` extends
+    the stack with checksummed envelopes and a durably checkpointing
+    guard — the strongest transparency statement: integrity + durability
+    machinery must not change the first-attempt communication budget.
     """
     from repro.analysis.contracts import validate_contract
 
@@ -263,10 +288,13 @@ def verify_contracts(n: int = 32,
                 detail="missing or invalid COMM_CONTRACT"))
             continue
         measured_ar, measured_halo, d_iter = _measure(
-            spec, n, resilience=resilience)
+            spec, n, resilience=resilience, integrity=integrity)
         expected_ar, expected_halo = spec.expected(contract)
         detail = spec.detail
-        if resilience:
+        if integrity:
+            detail = (f"{detail}, checksummed+checkpointing stack" if detail
+                      else "checksummed+checkpointing stack")
+        elif resilience:
             detail = f"{detail}, resilient stack" if detail \
                 else "resilient stack"
         reports.append(VerifyReport(

@@ -14,6 +14,12 @@ def _cmd_tealeaf(args) -> int:
     from repro.solvers.options import SolverOptions
 
     deck = parse_deck(args.deck)
+    checkpoint_dir = args.checkpoint_dir or deck.tl_checkpoint_dir
+    checkpoint_interval = args.checkpoint_interval or deck.tl_checkpoint_interval
+    if checkpoint_interval and not checkpoint_dir:
+        print("error: --checkpoint-interval needs --checkpoint-dir "
+              "(or tl_checkpoint_dir in the deck)", file=sys.stderr)
+        return 2
     options = SolverOptions(
         solver=deck.solver,
         eps=deck.tl_eps,
@@ -22,6 +28,11 @@ def _cmd_tealeaf(args) -> int:
         ppcg_inner_steps=deck.tl_ppcg_inner_steps,
         halo_depth=deck.tl_ppcg_halo_depth,
         eigen_warmup_iters=deck.tl_eigen_warmup_iters,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_dir=str(checkpoint_dir),
+        recovery=deck.tl_enable_recovery,
+        integrity=deck.tl_enable_checksums,
+        abft_interval=deck.tl_abft_interval,
     )
     n_steps = args.steps if args.steps else deck.n_steps
     report = run_simulation(
@@ -47,6 +58,36 @@ def _cmd_tealeaf(args) -> int:
                          {"temperature": report.temperature,
                           "density": density})
         print(f"VTK file written to {path}")
+    return 0
+
+
+def _cmd_restart(args) -> int:
+    """Resume a checkpointed run from its newest committed checkpoint."""
+    from repro.io.ascii_viz import render_heatmap
+    from repro.physics.simulation import restart_simulation
+    from repro.utils.errors import CheckpointError
+
+    try:
+        report = restart_simulation(
+            args.from_dir,
+            extra_steps=args.steps or None,
+            nranks=args.ranks or None,
+        )
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"restarted from {args.from_dir}: "
+          f"{len(report.steps)} step(s) resumed")
+    for s in report.steps:
+        print(f"  step {s.step:4d} t={s.time:8.3f} iters={s.iterations:5d}"
+              f" (+{s.inner_iterations} inner) residual={s.residual_norm:.3e}"
+              f" mean T={s.mean_temperature:.6f}")
+    if args.show:
+        print(render_heatmap(report.temperature, width=args.width))
+    if args.out:
+        from repro.io.snapshots import save_field_npy
+        path = save_field_npy(args.out, report.temperature)
+        print(f"temperature field written to {path}")
     return 0
 
 
@@ -189,7 +230,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the final field to this .npy path")
     p_tea.add_argument("--vtk", default="",
                        help="write the final state to this legacy-VTK path")
+    p_tea.add_argument("--checkpoint-dir", default="",
+                       help="commit durable checkpoints into this directory "
+                            "(overrides the deck's tl_checkpoint_dir)")
+    p_tea.add_argument("--checkpoint-interval", type=int, default=0,
+                       help="checkpoint every N completed steps "
+                            "(overrides the deck's tl_checkpoint_interval)")
     p_tea.set_defaults(func=_cmd_tealeaf)
+
+    p_restart = sub.add_parser(
+        "restart", help="resume a run from its newest durable checkpoint")
+    p_restart.add_argument("--from", dest="from_dir", required=True,
+                           help="checkpoint directory written by a previous "
+                                "'repro tealeaf --checkpoint-dir' run")
+    p_restart.add_argument("--ranks", type=int, default=0,
+                           help="world size (0: from the checkpoint manifest)")
+    p_restart.add_argument("--steps", type=int, default=0,
+                           help="override the remaining step count "
+                                "(0: finish the original run)")
+    p_restart.add_argument("--show", action="store_true",
+                           help="render the final temperature as ASCII")
+    p_restart.add_argument("--width", type=int, default=72)
+    p_restart.add_argument("--out", default="",
+                           help="write the final field to this .npy path")
+    p_restart.set_defaults(func=_cmd_restart)
 
     p_solve = sub.add_parser("solve",
                              help="one-shot linear solve of a deck's first step")

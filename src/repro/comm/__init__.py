@@ -20,12 +20,14 @@ mpi4py-flavoured API:
 from repro.comm.base import Communicator, REDUCE_OPS
 from repro.comm.serial import SerialComm
 from repro.comm.threaded import ThreadComm, ThreadWorld
-from repro.comm.instrument import RETRY_KIND, EventWindow, InstrumentedComm
+from repro.comm.instrument import (RECOVERY_KIND, RETRY_KIND, EventWindow,
+                                   InstrumentedComm)
 from repro.comm.spmd import launch_spmd
 
 __all__ = [
     "Communicator",
     "REDUCE_OPS",
+    "RECOVERY_KIND",
     "RETRY_KIND",
     "SerialComm",
     "ThreadComm",

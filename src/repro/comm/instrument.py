@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.comm.base import Communicator, payload_bytes
-from repro.utils.events import EventLog
+from repro.utils.events import RECOVERY_KIND, EventLog
 
 #: Event kind recorded (by :class:`~repro.resilience.retry.RetryingComm`)
 #: for every *re-issued* communication attempt.  Retries are accounted
@@ -24,6 +24,8 @@ from repro.utils.events import EventLog
 #: legal retries.  Query retries with ``count_kind(RETRY_KIND)`` or
 #: :meth:`EventWindow.retry_count`.
 RETRY_KIND = "comm_retry"
+
+__all__ = ["RETRY_KIND", "RECOVERY_KIND", "EventWindow", "InstrumentedComm"]
 
 
 class EventWindow:
@@ -94,6 +96,19 @@ class EventWindow:
         if op is None:
             return self.count_kind(RETRY_KIND)
         return self.count(RETRY_KIND, op)
+
+    def recovery_count(self, kind: str | None = None) -> int:
+        """Events rerouted into the recovery bucket during the window.
+
+        Recovery-scope work (checkpoint collectives, failure votes, halo
+        refreshes, ABFT replays — see
+        :func:`repro.utils.events.recovery_scope`) is bucketed under
+        ``(RECOVERY_KIND, original_kind)``, keeping the regular per-kind
+        counts first-attempt clean just like retries.
+        """
+        if kind is None:
+            return self.count_kind(RECOVERY_KIND)
+        return self.count(RECOVERY_KIND, kind)
 
     def as_log(self) -> EventLog:
         """The window's deltas materialised as a standalone EventLog."""

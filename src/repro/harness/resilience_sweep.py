@@ -72,14 +72,17 @@ class ResilienceSweepResult:
         return self.reports[(solver, rate)]
 
     def as_dict(self) -> dict:
-        """JSON-ready sweep output (schema ``repro.resilience_sweep/v1``).
+        """JSON-ready sweep output (schema ``repro.resilience_sweep/v2``).
 
         Top level: ``schema``, ``n``, ``seed``, ``rates``, ``solvers``
         and ``cells`` — one entry per ``(solver, rate)`` in sweep order
         with keys ``solver``, ``rate``, ``converged``, ``iterations``,
         ``relative_residual``, ``faults``, ``retries``, ``rollbacks``,
-        ``checkpoints``, ``degraded``, ``virtual_time_s``.  The
-        test-suite cross-checks these cells against an independent
+        ``checkpoints``, ``recoveries``, ``integrity_detections``,
+        ``integrity_repairs``, ``degraded``, ``virtual_time_s``.  v2 adds
+        the recovery/integrity counters (rank-loss respawns and checksum
+        detections/repairs; zero for the plain stack).  The test-suite
+        cross-checks these cells against an independent
         :class:`~repro.observe.metrics.MetricsRegistry` oracle.
         """
         cells = []
@@ -96,11 +99,14 @@ class ResilienceSweepResult:
                     "retries": r.retries,
                     "rollbacks": r.rollbacks,
                     "checkpoints": r.checkpoints,
+                    "recoveries": r.recoveries,
+                    "integrity_detections": r.integrity_detections,
+                    "integrity_repairs": r.integrity_repairs,
                     "degraded": r.degraded,
                     "virtual_time_s": r.virtual_time_s,
                 })
         return {
-            "schema": "repro.resilience_sweep/v1",
+            "schema": "repro.resilience_sweep/v2",
             "n": self.n,
             "seed": self.seed,
             "rates": list(self.rates),
@@ -108,17 +114,30 @@ class ResilienceSweepResult:
             "cells": cells,
         }
 
+    @property
+    def all_converged(self) -> bool:
+        """True when every (solver, rate) cell converged."""
+        return all(r.converged for r in self.reports.values())
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status: 0 all converged, 1 otherwise."""
+        return 0 if self.all_converged else 1
+
 
 def run_resilience_sweep(n: int = 24,
                          seed: int = 7,
                          rates: tuple[float, ...] = RATES,
                          size: int = 1,
-                         solvers=SOLVERS) -> ResilienceSweepResult:
+                         solvers=SOLVERS,
+                         integrity: bool = False) -> ResilienceSweepResult:
     """Run every solver configuration at every fault rate.
 
     ``solvers`` is a sequence of ``(name, SolverOptions)`` pairs
     (default: the full :data:`SOLVERS` study) — tests pass a subset to
-    keep runtimes short.
+    keep runtimes short.  ``integrity`` threads the
+    :class:`~repro.resilience.integrity.ChecksumComm` layer into every
+    run's stack, surfacing checksum detections/repairs in the cells.
     """
     result = ResilienceSweepResult(
         n=n, seed=seed, rates=tuple(rates),
@@ -126,12 +145,13 @@ def run_resilience_sweep(n: int = 24,
     for name, options in solvers:
         for rate in rates:
             result.reports[(name, rate)] = run_resilient(
-                options, fault_plan(rate, seed), n=n, size=size)
+                options, fault_plan(rate, seed), n=n, size=size,
+                integrity=integrity)
     return result
 
 
-def main() -> str:
-    sweep = run_resilience_sweep()
+def render(sweep: ResilienceSweepResult) -> str:
+    """Human-readable sweep table."""
     lines = [f"== resilience sweep: crooked pipe n={sweep.n}, "
              f"seed={sweep.seed} =="]
     for name in sweep.solvers:
@@ -143,12 +163,35 @@ def main() -> str:
                 f"    rate={rate:<6g} [{mark}] {r.iterations:4d} iters  "
                 f"rel res {r.relative_residual:.2e}  "
                 f"{len(r.fault_events):3d} fault(s) "
-                f"{r.retries:3d} retrie(s) {r.rollbacks:2d} rollback(s)"
+                f"{r.retries:3d} retrie(s) {r.rollbacks:2d} rollback(s) "
+                f"{r.recoveries:2d} recover(ies)"
                 + ("  degraded" if r.degraded else ""))
-    text = "\n".join(lines)
-    print(text)
-    return text
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the sweep; exit 1 when any configuration failed to converge."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="resilience sweep: fault rate x solver")
+    parser.add_argument("--n", type=int, default=24, help="mesh size")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--size", type=int, default=1, help="world size")
+    parser.add_argument("--integrity", action="store_true",
+                        help="enable the checksummed-envelope comm layer")
+    args = parser.parse_args(argv)
+    sweep = run_resilience_sweep(n=args.n, seed=args.seed, size=args.size,
+                                 integrity=args.integrity)
+    print(render(sweep))
+    if not sweep.all_converged:
+        failed = [(name, rate) for (name, rate), r in sweep.reports.items()
+                  if not r.converged]
+        print(f"FAILED: {len(failed)} configuration(s) did not converge: "
+              + ", ".join(f"{n}@{r:g}" for n, r in failed))
+    return sweep.exit_code
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+    sys.exit(main())

@@ -1,32 +1,77 @@
-"""Field snapshot persistence (NumPy binary and CSV)."""
+"""Field snapshot persistence (NumPy binary and CSV).
+
+Writes are *atomic*: data lands in a temporary file in the destination
+directory, is flushed and fsynced, then renamed over the final path with
+:func:`os.replace`.  A crash mid-write leaves either the old snapshot or
+none — never a torn file.  :func:`load_field_npy` validates what it reads
+(finite-ness on request, dtype/shape sanity) so a corrupted snapshot is
+reported as :class:`~repro.utils.errors.CheckpointError` instead of
+propagating NaNs into a resumed run.
+"""
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
 
+from repro.utils.errors import CheckpointError
 from repro.utils.validation import require
 
 
-def save_field_npy(path, field: np.ndarray) -> Path:
-    """Save a field as ``.npy``; returns the written path."""
-    path = Path(path)
+def _atomic_write(path: Path, writer) -> None:
+    """Run ``writer(open file)`` against a temp file, fsync, rename."""
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.save(path, np.asarray(field))
-    return path if path.suffix == ".npy" else path.with_suffix(".npy")
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.tmp-")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            writer(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
-def load_field_npy(path) -> np.ndarray:
-    """Load a field saved by :func:`save_field_npy`."""
-    return np.load(Path(path))
+def save_field_npy(path, field: np.ndarray) -> Path:
+    """Atomically save a field as ``.npy``; returns the written path."""
+    path = Path(path)
+    if path.suffix != ".npy":
+        path = path.with_suffix(".npy")
+    arr = np.asarray(field)
+    _atomic_write(path, lambda fh: np.save(fh, arr))
+    return path
+
+
+def load_field_npy(path, *, require_finite: bool = False) -> np.ndarray:
+    """Load and validate a field saved by :func:`save_field_npy`.
+
+    Raises :class:`CheckpointError` when the file is unreadable (torn or
+    corrupted) or, with ``require_finite``, contains NaN/Inf.
+    """
+    path = Path(path)
+    try:
+        arr = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise CheckpointError(f"unreadable field snapshot {path}: {exc}") \
+            from exc
+    if require_finite and not np.isfinite(arr).all():
+        raise CheckpointError(
+            f"field snapshot {path} contains non-finite values")
+    return arr
 
 
 def save_field_csv(path, field: np.ndarray, fmt: str = "%.10e") -> Path:
-    """Save a 2D field as CSV (one row per mesh row)."""
+    """Atomically save a 2D field as CSV (one row per mesh row)."""
     field = np.asarray(field)
     require(field.ndim == 2, f"need a 2D array, got shape {field.shape}")
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savetxt(path, field, delimiter=",", fmt=fmt)
+    _atomic_write(path, lambda fh: np.savetxt(fh, field, delimiter=",",
+                                              fmt=fmt))
     return path

@@ -153,6 +153,11 @@ def record_resilience_metrics(registry: MetricsRegistry, report) -> None:
     registry.counter("resilience.retries").inc(report.retries)
     registry.counter("resilience.rollbacks").inc(report.rollbacks)
     registry.counter("resilience.checkpoints").inc(report.checkpoints)
+    registry.counter("resilience.recoveries").inc(report.recoveries)
+    registry.counter("resilience.integrity_detections").inc(
+        report.integrity_detections)
+    registry.counter("resilience.integrity_repairs").inc(
+        report.integrity_repairs)
     registry.gauge("resilience.relative_residual").set(
         report.relative_residual)
     registry.gauge("resilience.converged").set(

@@ -48,6 +48,12 @@ _SOLVER_FLAGS = {
 _PRECONDITIONERS = {"none": "none", "jac_diag": "diagonal",
                     "jac_block": "block_jacobi"}
 
+#: Bare-flag resilience toggles (see :mod:`repro.resilience`).
+_RESILIENCE_FLAGS = {
+    "tl_enable_recovery": "tl_enable_recovery",
+    "tl_enable_checksums": "tl_enable_checksums",
+}
+
 
 @dataclass
 class Deck:
@@ -70,6 +76,11 @@ class Deck:
     tl_preconditioner_type: str = "none"
     tl_coefficient: Conductivity = Conductivity.RECIP_DENSITY
     tl_eigen_warmup_iters: int = 25
+    tl_checkpoint_interval: int = 0
+    tl_checkpoint_dir: str = ""
+    tl_abft_interval: int = 0
+    tl_enable_recovery: bool = False
+    tl_enable_checksums: bool = False
     summary_frequency: int = 0
     visit_frequency: int = 0
 
@@ -155,6 +166,9 @@ def parse_deck_text(text: str) -> Deck:
         if low in _SOLVER_FLAGS:
             deck.solver = _SOLVER_FLAGS[low]
             continue
+        if low in _RESILIENCE_FLAGS:
+            setattr(deck, _RESILIENCE_FLAGS[low], True)
+            continue
         if "=" not in line:
             raise ConfigurationError(f"line {lineno}: unrecognised entry {line!r}")
         key, val = (s.strip() for s in line.split("=", 1))
@@ -184,6 +198,9 @@ def _apply_setting(deck: Deck, key: str, val: str, lineno: int) -> None:
         "tl_ppcg_inner_steps": ("tl_ppcg_inner_steps", int),
         "tl_ppcg_halo_depth": ("tl_ppcg_halo_depth", int),
         "tl_eigen_warmup_iters": ("tl_eigen_warmup_iters", int),
+        "tl_checkpoint_interval": ("tl_checkpoint_interval", int),
+        "tl_checkpoint_dir": ("tl_checkpoint_dir", str),
+        "tl_abft_interval": ("tl_abft_interval", int),
         "summary_frequency": ("summary_frequency", int),
         "visit_frequency": ("visit_frequency", int),
     }

@@ -11,7 +11,8 @@ launches one per rank over the in-process world and gathers the results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -22,13 +23,14 @@ from repro.mesh.field import Field
 from repro.mesh.grid import Grid2D
 from repro.mesh.halo import HaloExchanger
 from repro.physics.conduction import Conductivity
-from repro.physics.problems import ProblemSpec
+from repro.physics.problems import ProblemSpec, RegionSpec
 from repro.physics.state import build_coefficient_fields, build_fields, global_initial_state
 from repro.solvers.driver import solve_linear
 from repro.solvers.operator import StencilOperator2D
 from repro.solvers.options import SolverOptions
-from repro.utils.errors import CommunicationError, ConvergenceError
-from repro.utils.events import EventLog
+from repro.utils.errors import (CheckpointError, CommunicationError,
+                                ConvergenceError)
+from repro.utils.events import EventLog, recovery_scope
 from repro.utils.validation import check_positive
 
 
@@ -164,6 +166,54 @@ class Simulation:
         self.time = snapshot["time"]
         self.step_index = snapshot["step_index"]
 
+    def save_checkpoint(self, root, config: dict | None = None):
+        """Commit a durable on-disk checkpoint (SPMD-collective).
+
+        Each rank writes its temperature interior into a per-rank shard
+        under ``root/step-NNNNNN`` with the atomic commit protocol of
+        :func:`~repro.resilience.checkpoint.commit_checkpoint`; a crash at
+        any instant leaves the previous checkpoint intact.  The interior
+        suffices for a bit-identical restart: every halo cell any kernel
+        reads is freshly exchanged before the read.  Returns the committed
+        directory.
+
+        The commit's collectives (barrier/gather) run under the recovery
+        scope so they land in
+        :data:`~repro.utils.events.RECOVERY_KIND`, keeping per-step comm
+        counts contract-clean.
+        """
+        from repro.resilience.checkpoint import commit_checkpoint
+        with self.tracer.span("checkpoint", "simulation"), \
+                recovery_scope(self.events):
+            return commit_checkpoint(
+                Path(root), self.step_index, self.comm,
+                arrays={"u": np.array(self.u.interior, copy=True)},
+                scalars={"time": self.time, "step_index": self.step_index},
+                config=config)
+
+    def restore_from_checkpoint(self, step_dir) -> int:
+        """Restore state from a committed checkpoint directory.
+
+        Validates the manifest's rank count and this rank's shard CRCs,
+        then reinstates the temperature interior, clock and step index.
+        Returns the restored step index.
+        """
+        from repro.resilience.checkpoint import load_rank_checkpoint
+        with self.tracer.span("recover", "simulation"), \
+                recovery_scope(self.events):
+            arrays, scalars, _manifest = load_rank_checkpoint(
+                step_dir, self.comm.rank, self.comm.size)
+            u = arrays.get("u")
+            if u is None or u.shape != self.u.interior.shape:
+                raise CheckpointError(
+                    f"rank {self.comm.rank}: checkpoint {step_dir} holds "
+                    f"temperature {None if u is None else u.shape}, tile "
+                    f"needs {self.u.interior.shape}")
+            self.u.interior = u
+            self.time = float(scalars["time"])
+            self.step_index = int(scalars["step_index"])
+        return self.step_index
+
     def step(self) -> StepStats:
         """Advance one implicit step: solve ``A u_new = u_old``."""
         with self.tracer.span("step", self.step_index):
@@ -193,7 +243,9 @@ class Simulation:
             visit_frequency: int = 0,
             output_dir=None,
             checkpoint_interval: int = 0,
-            max_step_retries: int = 0) -> list[StepStats]:
+            max_step_retries: int = 0,
+            checkpoint_dir=None,
+            checkpoint_config: dict | None = None) -> list[StepStats]:
         """Advance ``n_steps``, optionally emitting TeaLeaf-style output.
 
         ``summary_frequency``: every k steps, attach a
@@ -212,6 +264,14 @@ class Simulation:
         back together; communication failures are only guaranteed
         coherent when the fault affects collectives symmetrically (as the
         resilient stack's collective faults do) or in serial runs.
+
+        With ``checkpoint_dir`` set (and ``checkpoint_interval = k``), a
+        *durable* checkpoint is additionally committed to disk after every
+        ``k``-th completed step (see :meth:`save_checkpoint`) — each
+        committed ``step-NNNNNN`` directory records "step N finished", so
+        a killed run restarts from the last completed cadence boundary.
+        ``checkpoint_config`` is stored in the manifest for
+        :func:`restart_simulation` to rebuild the run from.
         """
         check_positive("n_steps", n_steps)
         check_positive("checkpoint_interval", checkpoint_interval,
@@ -235,6 +295,9 @@ class Simulation:
                 self.restore(snapshot)
                 del stats[n_kept:]
                 continue
+            if checkpoint_dir is not None and checkpoint_interval \
+                    and self.step_index % checkpoint_interval == 0:
+                self.save_checkpoint(checkpoint_dir, checkpoint_config)
             if summary_frequency and self.step_index % summary_frequency == 0:
                 s.summary = self.summary()
             if visit_frequency and self.step_index % visit_frequency == 0:
@@ -271,6 +334,67 @@ class Simulation:
         return out
 
 
+def checkpoint_config(grid: Grid2D,
+                      problem: ProblemSpec,
+                      options: SolverOptions,
+                      *,
+                      dt: float,
+                      n_steps: int,
+                      nranks: int,
+                      conductivity: Conductivity | str,
+                      face_mean: str,
+                      warm_start: bool,
+                      checkpoint_interval: int) -> dict:
+    """JSON-ready run description stored in every checkpoint manifest.
+
+    Everything :func:`restart_simulation` needs to rebuild the run without
+    the original deck: grid geometry, problem regions, solver options and
+    the stepping parameters.  ``n_steps`` is the run's *total* step count,
+    so a restart knows how many steps remain.
+    """
+    cond = conductivity.value if isinstance(conductivity, Conductivity) \
+        else str(conductivity)
+    opts = {k: (list(v) if isinstance(v, tuple) else v)
+            for k, v in asdict(options).items()}
+    return {
+        "grid": {"nx": grid.nx, "ny": grid.ny, "extent": list(grid.extent)},
+        "problem": {
+            "name": problem.name,
+            "regions": [
+                {"density": r.density, "energy": r.energy,
+                 "geometry": r.geometry, "bounds": list(r.bounds)}
+                for r in problem.regions
+            ],
+        },
+        "options": opts,
+        "dt": dt,
+        "n_steps": n_steps,
+        "nranks": nranks,
+        "conductivity": cond,
+        "face_mean": face_mean,
+        "warm_start": warm_start,
+        "checkpoint_interval": checkpoint_interval,
+    }
+
+
+def _config_from_manifest(config: dict):
+    """Invert :func:`checkpoint_config` → (grid, problem, options, kwargs)."""
+    g = config["grid"]
+    grid = Grid2D(nx=g["nx"], ny=g["ny"], extent=tuple(g["extent"]))
+    problem = ProblemSpec(
+        regions=tuple(
+            RegionSpec(density=r["density"], energy=r["energy"],
+                       geometry=r["geometry"], bounds=tuple(r["bounds"]))
+            for r in config["problem"]["regions"]),
+        name=config["problem"]["name"])
+    raw = dict(config["options"])
+    for key in ("eigen_safety", "deflation_blocks"):
+        if key in raw and isinstance(raw[key], list):
+            raw[key] = tuple(raw[key])
+    options = SolverOptions(**raw)
+    return grid, problem, options
+
+
 def run_simulation(
     grid: Grid2D,
     problem: ProblemSpec,
@@ -285,6 +409,9 @@ def run_simulation(
     gather_temperature: bool = True,
     checkpoint_interval: int = 0,
     max_step_retries: int = 0,
+    checkpoint_dir=None,
+    restore_from=None,
+    total_steps: int | None = None,
     tracer_factory=None,
 ) -> SimulationReport:
     """Run the mini-app over an ``nranks``-rank in-process world.
@@ -294,19 +421,45 @@ def run_simulation(
     global temperature field.  ``checkpoint_interval``/``max_step_retries``
     enable step-level checkpoint/retry (see :meth:`Simulation.run`).
 
+    Durable checkpoint/restart: ``checkpoint_dir`` commits an atomic
+    on-disk checkpoint every ``checkpoint_interval`` completed steps
+    (defaulting to the options' ``checkpoint_dir``/``checkpoint_interval``
+    knobs when those are set); ``restore_from`` restores every rank from a
+    committed ``step-*`` directory before stepping, so the run continues
+    bit-identically from that checkpoint.  ``total_steps`` (default
+    ``n_steps``) is what the manifest records as the run's full length —
+    a restart passes the original total so further restarts stay possible.
+
     ``tracer_factory``: optional ``rank -> Tracer`` callable; each rank's
     :class:`Simulation` is instrumented with its tracer and the report's
     ``tracers`` list carries them back (index = rank) for export.
     """
+    opts = options if options is not None else SolverOptions()
+    if checkpoint_dir is None and opts.checkpoint_dir \
+            and opts.checkpoint_interval > 0:
+        checkpoint_dir = opts.checkpoint_dir
+    if checkpoint_dir is not None and checkpoint_interval <= 0:
+        checkpoint_interval = opts.checkpoint_interval or 1
+    config = None
+    if checkpoint_dir is not None:
+        config = checkpoint_config(
+            grid, problem, opts, dt=dt,
+            n_steps=total_steps if total_steps is not None else n_steps,
+            nranks=nranks, conductivity=conductivity, face_mean=face_mean,
+            warm_start=warm_start, checkpoint_interval=checkpoint_interval)
 
     def rank_main(comm):
         tracer = tracer_factory(comm.rank) if tracer_factory is not None \
             else None
-        sim = Simulation(comm, grid, problem, options, dt=dt,
+        sim = Simulation(comm, grid, problem, opts, dt=dt,
                          conductivity=conductivity, face_mean=face_mean,
                          warm_start=warm_start, tracer=tracer)
+        if restore_from is not None:
+            sim.restore_from_checkpoint(restore_from)
         steps = sim.run(n_steps, checkpoint_interval=checkpoint_interval,
-                        max_step_retries=max_step_retries)
+                        max_step_retries=max_step_retries,
+                        checkpoint_dir=checkpoint_dir,
+                        checkpoint_config=config)
         temp = sim.gather_temperature(root=0) if gather_temperature else None
         return steps, temp, sim.events, sim.tracer
 
@@ -316,3 +469,55 @@ def run_simulation(
     return SimulationReport(grid=grid, dt=dt, steps=steps0,
                             temperature=temp0, events=events0,
                             tracers=tracers)
+
+
+def restart_simulation(root,
+                       *,
+                       extra_steps: int | None = None,
+                       nranks: int | None = None,
+                       gather_temperature: bool = True,
+                       tracer_factory=None) -> SimulationReport:
+    """Resume a checkpointed run from the newest committed checkpoint.
+
+    Rebuilds the grid, problem and solver options from the manifest's
+    stored config (no deck needed), restores every rank from its shard,
+    and advances the remaining ``n_steps - step`` steps — bit-identically
+    to the uninterrupted run.  ``extra_steps`` overrides the remaining
+    count; ``nranks`` must match the checkpoint's decomposition when
+    given.  Raises :class:`CheckpointError` when no committed checkpoint
+    exists or the run already finished.
+    """
+    from repro.resilience.checkpoint import latest_checkpoint, read_manifest
+    step_dir = latest_checkpoint(root)
+    if step_dir is None:
+        raise CheckpointError(f"no committed checkpoint under {root}")
+    manifest = read_manifest(step_dir)
+    config = manifest.get("config") or {}
+    if "grid" not in config:
+        raise CheckpointError(
+            f"checkpoint {step_dir} carries no run config; it was not "
+            "written by run_simulation")
+    grid, problem, options = _config_from_manifest(config)
+    done = int(manifest["step"])
+    total = int(config["n_steps"])
+    remaining = extra_steps if extra_steps is not None else total - done
+    if remaining < 1:
+        raise CheckpointError(
+            f"checkpoint {step_dir} is at step {done} of {total}: nothing "
+            "left to run (pass extra_steps to continue past the end)")
+    world = nranks if nranks is not None else int(manifest["nranks"])
+    return run_simulation(
+        grid, problem, options,
+        dt=float(config["dt"]),
+        n_steps=remaining,
+        nranks=world,
+        conductivity=config["conductivity"],
+        face_mean=config["face_mean"],
+        warm_start=bool(config["warm_start"]),
+        gather_temperature=gather_temperature,
+        checkpoint_interval=int(config["checkpoint_interval"]),
+        checkpoint_dir=Path(root),
+        restore_from=step_dir,
+        total_steps=total,
+        tracer_factory=tracer_factory,
+    )

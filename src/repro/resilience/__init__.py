@@ -14,11 +14,30 @@ solver stack the machinery to survive them:
   checks plus in-memory checkpoint/rollback for CG/PPCG/Chebyshev;
 - :mod:`repro.resilience.runner` — the canonical stack
   (:func:`build_resilient_comm`) and a turn-key benchmark driver
-  (:func:`run_resilient`).
+  (:func:`run_resilient`);
+- :mod:`repro.resilience.checkpoint` — durable atomic on-disk checkpoints
+  (versioned manifest, per-array CRC32, per-rank shards) for simulation
+  and solver state;
+- :mod:`repro.resilience.integrity` — :class:`ChecksumComm`, checksummed
+  redundant message envelopes and duplicate-lane reductions that turn
+  silent payload corruption into detected, retryable faults;
+- :mod:`repro.resilience.recovery` — :func:`run_recoverable`, ULFM-style
+  shrink/respawn recovery from rank loss via the durable checkpoints.
 
 See ``docs/resilience.md`` for the full model.
 """
 
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    SolverCheckpointStore,
+    array_crc32,
+    commit_checkpoint,
+    latest_checkpoint,
+    load_rank_checkpoint,
+    load_shard,
+    read_manifest,
+    write_shard,
+)
 from repro.resilience.faults import (
     CrashWindow,
     FaultEvent,
@@ -28,6 +47,12 @@ from repro.resilience.faults import (
     IterationCell,
 )
 from repro.resilience.guard import GuardEvent, Snapshot, SolverGuard
+from repro.resilience.integrity import (
+    INTEGRITY_KIND,
+    ChecksumComm,
+    IntegrityEvent,
+)
+from repro.resilience.recovery import RecoveryEvent, run_recoverable
 from repro.resilience.retry import RetryingComm, VirtualClock
 from repro.resilience.runner import (
     ResilienceReport,
@@ -37,6 +62,8 @@ from repro.resilience.runner import (
 )
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
+    "ChecksumComm",
     "CrashWindow",
     "FaultEvent",
     "FaultPlan",
@@ -44,12 +71,24 @@ __all__ = [
     "FaultyComm",
     "IterationCell",
     "GuardEvent",
+    "INTEGRITY_KIND",
+    "IntegrityEvent",
+    "RecoveryEvent",
     "Snapshot",
+    "SolverCheckpointStore",
     "SolverGuard",
     "RetryingComm",
     "VirtualClock",
     "ResilienceReport",
     "ResilientStack",
+    "array_crc32",
     "build_resilient_comm",
+    "commit_checkpoint",
+    "latest_checkpoint",
+    "load_rank_checkpoint",
+    "load_shard",
+    "read_manifest",
+    "run_recoverable",
     "run_resilient",
+    "write_shard",
 ]

@@ -1,0 +1,313 @@
+"""Durable, atomic on-disk checkpoints of simulation and solver state.
+
+The in-memory :class:`~repro.resilience.guard.SolverGuard` survives bad
+iterations; it does not survive process death.  This module adds the durable
+layer underneath: versioned checkpoint directories written with the classic
+write-to-temp + :func:`os.replace` protocol so a crash at *any* instant
+leaves either the previous checkpoint or the new one — never a torn mix.
+
+Layout of a committed checkpoint under ``root``::
+
+    root/
+      step-000012/                  # one directory per committed step
+        manifest.json               # world-level metadata + per-array CRC32s
+        shard-0000.npz              # rank 0's arrays + embedded meta
+        shard-0001.npz              # rank 1's ...
+
+Every shard is a standard ``.npz`` holding the rank's arrays plus a
+``__repro_meta__`` entry — a 0-d unicode array carrying a JSON document with
+the scalars and a per-array ``{crc32, shape, dtype}`` table (readable with
+``allow_pickle=False``).  :func:`load_shard` re-validates all three on read,
+so a flipped bit on disk surfaces as a :class:`CheckpointError` instead of a
+silently wrong restart.
+
+Commit protocol (SPMD-collective over ``comm``):
+
+1. rank 0 prepares ``root/.pending-step-NNNNNN`` (removing any stale one);
+2. barrier; every rank writes its shard atomically into the pending dir;
+3. per-shard metadata is gathered to rank 0, which writes ``manifest.json``
+   atomically and then commits the whole directory with a single
+   ``os.replace(pending, final)``;
+4. barrier, so no rank resumes before the checkpoint is durable.
+
+A reader (:func:`latest_checkpoint`) only ever sees committed ``step-*``
+directories; ``.pending-*`` leftovers from a crash are ignored and reaped by
+the next commit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.comm.base import Communicator
+from repro.utils.errors import CheckpointError
+
+#: Version tag embedded in every shard and manifest.
+CHECKPOINT_SCHEMA = "repro.checkpoint/v1"
+
+#: Key under which shard metadata is stored inside the ``.npz``.
+META_KEY = "__repro_meta__"
+
+_STEP_PREFIX = "step-"
+_PENDING_PREFIX = ".pending-"
+
+
+def array_crc32(a: np.ndarray) -> int:
+    """CRC32 of an array's raw bytes (C-contiguous view)."""
+    return zlib.crc32(np.ascontiguousarray(a).tobytes())
+
+
+def _json_value(v):
+    """Coerce numpy scalars so metadata survives ``json.dumps``."""
+    if isinstance(v, np.bool_):
+        return bool(v)
+    if isinstance(v, np.integer):
+        return int(v)
+    if isinstance(v, np.floating):
+        return float(v)
+    return v
+
+
+def write_shard(path: Path, arrays: dict, scalars: dict | None = None) -> dict:
+    """Atomically write one rank's arrays + scalars; return the shard meta.
+
+    The returned metadata dict (``schema``/``scalars``/``arrays``) is what
+    ends up gathered into the manifest.  Array names must not collide with
+    ``META_KEY``.
+    """
+    path = Path(path)
+    if META_KEY in arrays:
+        raise CheckpointError(f"array name {META_KEY!r} is reserved")
+    meta = {
+        "schema": CHECKPOINT_SCHEMA,
+        "scalars": {k: _json_value(v) for k, v in (scalars or {}).items()},
+        "arrays": {
+            name: {
+                "crc32": array_crc32(np.asarray(a)),
+                "shape": list(np.asarray(a).shape),
+                "dtype": str(np.asarray(a).dtype),
+            }
+            for name, a in arrays.items()
+        },
+    }
+    payload = {name: np.asarray(a) for name, a in arrays.items()}
+    payload[META_KEY] = np.array(json.dumps(meta, sort_keys=True))
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return meta
+
+
+def load_shard(path: Path) -> tuple[dict, dict]:
+    """Load and validate one shard; returns ``(arrays, scalars)``.
+
+    Raises :class:`CheckpointError` on a missing file, undecodable archive,
+    missing metadata, or any shape/dtype/CRC32 mismatch.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise CheckpointError(f"checkpoint shard missing: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            names = set(npz.files)
+            if META_KEY not in names:
+                raise CheckpointError(f"shard {path} has no {META_KEY} entry")
+            meta = json.loads(str(npz[META_KEY]))
+            arrays = {name: npz[name] for name in names - {META_KEY}}
+    except CheckpointError:
+        raise
+    except Exception as exc:  # zip/json/npy decode failures
+        raise CheckpointError(f"unreadable checkpoint shard {path}: {exc}") from exc
+    if meta.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"shard {path}: schema {meta.get('schema')!r} != {CHECKPOINT_SCHEMA!r}")
+    declared = meta.get("arrays", {})
+    if set(declared) != set(arrays):
+        raise CheckpointError(
+            f"shard {path}: manifest names {sorted(declared)} != "
+            f"stored names {sorted(arrays)}")
+    for name, a in arrays.items():
+        d = declared[name]
+        if list(a.shape) != d["shape"] or str(a.dtype) != d["dtype"]:
+            raise CheckpointError(
+                f"shard {path}: array {name!r} is {a.dtype}{a.shape}, "
+                f"expected {d['dtype']}{tuple(d['shape'])}")
+        crc = array_crc32(a)
+        if crc != d["crc32"]:
+            raise CheckpointError(
+                f"shard {path}: array {name!r} CRC32 {crc:#010x} != "
+                f"recorded {d['crc32']:#010x} (corrupted on disk)")
+    return arrays, dict(meta.get("scalars", {}))
+
+
+def shard_name(rank: int) -> str:
+    return f"shard-{rank:04d}.npz"
+
+
+def step_dir_name(step: int) -> str:
+    return f"{_STEP_PREFIX}{step:06d}"
+
+
+def _write_json_atomic(path: Path, doc: dict) -> None:
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def commit_checkpoint(root: Path, step: int, comm: Communicator,
+                      arrays: dict, scalars: dict | None = None,
+                      config: dict | None = None) -> Path:
+    """Collectively commit one checkpoint; returns the committed directory.
+
+    Must be called on every rank of ``comm`` with that rank's ``arrays`` and
+    ``scalars``; ``config`` (rank 0's value is authoritative) is stored in
+    the manifest so a restart can rebuild the run without the original deck.
+    """
+    root = Path(root)
+    final = root / step_dir_name(step)
+    pending = root / f"{_PENDING_PREFIX}{step_dir_name(step)}"
+    if comm.rank == 0:
+        root.mkdir(parents=True, exist_ok=True)
+        if pending.exists():
+            shutil.rmtree(pending)
+        pending.mkdir()
+    comm.barrier()
+    meta = write_shard(pending / shard_name(comm.rank), arrays, scalars)
+    metas = comm.gather(meta, root=0)
+    if comm.rank == 0:
+        manifest = {
+            "schema": CHECKPOINT_SCHEMA,
+            "step": step,
+            "nranks": comm.size,
+            "shards": {shard_name(r): m for r, m in enumerate(metas)},
+            "config": dict(config or {}),
+        }
+        _write_json_atomic(pending / "manifest.json", manifest)
+        if final.exists():
+            shutil.rmtree(final)
+        os.replace(pending, final)
+    comm.barrier()
+    return final
+
+
+def read_manifest(step_dir: Path) -> dict:
+    """Load + validate a committed checkpoint's manifest."""
+    path = Path(step_dir) / "manifest.json"
+    if not path.is_file():
+        raise CheckpointError(f"no manifest.json in {step_dir}")
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except Exception as exc:
+        raise CheckpointError(f"unreadable manifest {path}: {exc}") from exc
+    if manifest.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"{path}: schema {manifest.get('schema')!r} != "
+            f"{CHECKPOINT_SCHEMA!r}")
+    return manifest
+
+
+def latest_checkpoint(root: Path) -> Path | None:
+    """The most recent committed ``step-*`` directory under ``root``, if any.
+
+    ``.pending-*`` directories (torn commits) and step directories without a
+    manifest are skipped.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return None
+    best: tuple[int, Path] | None = None
+    for entry in root.iterdir():
+        if not entry.is_dir() or not entry.name.startswith(_STEP_PREFIX):
+            continue
+        try:
+            step = int(entry.name[len(_STEP_PREFIX):])
+        except ValueError:
+            continue
+        if not (entry / "manifest.json").is_file():
+            continue
+        if best is None or step > best[0]:
+            best = (step, entry)
+    return best[1] if best else None
+
+
+def load_rank_checkpoint(step_dir: Path, rank: int,
+                         world_size: int) -> tuple[dict, dict, dict]:
+    """Load one rank's shard of a committed checkpoint.
+
+    Validates the manifest's rank count against ``world_size`` and the
+    shard contents against their recorded CRCs; returns
+    ``(arrays, scalars, manifest)``.
+    """
+    step_dir = Path(step_dir)
+    manifest = read_manifest(step_dir)
+    if manifest["nranks"] != world_size:
+        raise CheckpointError(
+            f"checkpoint {step_dir} was taken on {manifest['nranks']} "
+            f"rank(s); cannot restore into a {world_size}-rank world")
+    arrays, scalars = load_shard(step_dir / shard_name(rank))
+    return arrays, scalars, manifest
+
+
+class SolverCheckpointStore:
+    """Per-rank durable backing store for the solver guard's snapshots.
+
+    One ``.npz`` file per rank under ``root``, overwritten atomically at
+    every :meth:`save`, so the newest durable solver state always exists
+    intact.  Unlike the step-level simulation checkpoints this is a *local*
+    (non-collective) write: each rank persists independently whenever its
+    guard checkpoints, and the recovery protocol reconciles divergent shard
+    iterations with a min-vote.
+    """
+
+    def __init__(self, root: Path, rank: int = 0):
+        self.root = Path(root)
+        self.rank = rank
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.saves = 0
+
+    @property
+    def path(self) -> Path:
+        return self.root / f"solver-{shard_name(self.rank)}"
+
+    def save(self, iteration: int, fields: dict, scalars: dict) -> None:
+        """Persist the guard snapshot (arrays copied by the caller)."""
+        merged = dict(scalars)
+        merged["__iteration__"] = int(iteration)
+        write_shard(self.path, fields, merged)
+        self.saves += 1
+
+    def load(self) -> tuple[int, dict, dict] | None:
+        """Newest durable snapshot as ``(iteration, arrays, scalars)``.
+
+        Returns ``None`` when this rank has never saved.
+        """
+        if not self.path.is_file():
+            return None
+        arrays, scalars = load_shard(self.path)
+        iteration = int(scalars.pop("__iteration__"))
+        return iteration, arrays, scalars

@@ -86,12 +86,19 @@ class SolverGuard:
     iteration:
         Shared :class:`IterationCell` for fault-event timestamping; a
         private cell is created when omitted.
+    store:
+        Optional durable backing store (a
+        :class:`~repro.resilience.checkpoint.SolverCheckpointStore`); when
+        given, every :meth:`save` also persists the snapshot atomically to
+        disk, so a killed process can resume from the guard's last
+        collective checkpoint instead of iteration 0.
     """
 
     def __init__(self, checkpoint_interval: int = 10,
                  divergence_ratio: float = 1e4,
                  max_rollbacks: int = 3,
-                 iteration: IterationCell | None = None):
+                 iteration: IterationCell | None = None,
+                 store=None):
         check_positive("checkpoint_interval", checkpoint_interval)
         check_positive("divergence_ratio", divergence_ratio)
         check_positive("max_rollbacks", max_rollbacks, allow_zero=True)
@@ -99,6 +106,7 @@ class SolverGuard:
         self.divergence_ratio = divergence_ratio
         self.max_rollbacks = max_rollbacks
         self.cell = iteration if iteration is not None else IterationCell()
+        self.store = store
         self.checkpoints = 0
         self.rollbacks = 0
         self._consecutive = 0
@@ -134,6 +142,11 @@ class SolverGuard:
         self._scalars = dict(scalars)
         self._iteration = iteration
         self._saved_best = self._best
+        if self.store is not None:
+            self.store.save(
+                iteration,
+                {name: copy for name, (_f, copy) in self._fields.items()},
+                self._scalars)
         self.checkpoints += 1
         self.log.append(GuardEvent(iteration, "checkpoint",
                                    f"{len(fields)} field(s), "

@@ -17,18 +17,22 @@ Two conveniences live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.comm import InstrumentedComm, launch_spmd
 from repro.comm.base import Communicator
 from repro.mesh import Field, decompose
+from repro.resilience.checkpoint import SolverCheckpointStore
 from repro.resilience.faults import FaultEvent, FaultPlan, FaultyComm, IterationCell
 from repro.resilience.guard import GuardEvent, SolverGuard
+from repro.resilience.integrity import ChecksumComm
 from repro.resilience.retry import RetryingComm, VirtualClock
 from repro.solvers import SolverOptions, StencilOperator2D, solve_linear
 from repro.solvers.result import SolveResult
-from repro.utils.events import EventLog
+from repro.utils.errors import CheckpointError
+from repro.utils.events import EventLog, recovery_scope
 
 #: Per-attempt receive timeout (seconds) used by the resilient stack; the
 #: thread world polls every 20 ms, so this rides out scheduling noise while
@@ -46,6 +50,7 @@ class ResilientStack:
     clock: VirtualClock
     cell: IterationCell
     events: EventLog
+    checksum: ChecksumComm | None = None
 
 
 def build_resilient_comm(base: Communicator,
@@ -55,7 +60,9 @@ def build_resilient_comm(base: Communicator,
                          max_attempts: int = 5,
                          recv_timeout: float | None = DEFAULT_RECV_TIMEOUT_S,
                          clock: VirtualClock | None = None,
-                         cell: IterationCell | None = None) -> ResilientStack:
+                         cell: IterationCell | None = None,
+                         integrity: bool = False,
+                         copies: int = 2) -> ResilientStack:
     """Wrap ``base`` in the canonical resilient stack.
 
     The order matters: the instrument layer is outermost so its counts are
@@ -63,17 +70,28 @@ def build_resilient_comm(base: Communicator,
     retry layer re-issues — which is what keeps the COMM_CONTRACT verifier
     oblivious to legal retries (see
     :data:`repro.comm.instrument.RETRY_KIND`).
+
+    With ``integrity=True`` a :class:`ChecksumComm` is inserted between
+    the retry and fault layers — detections surface as retryable
+    :class:`~repro.utils.errors.ChecksumError` *below* the retry layer
+    while the instrument layer still sees one logical op, so contract
+    counts are unchanged.
     """
     log = events if events is not None else EventLog()
     clk = clock if clock is not None else VirtualClock()
     it = cell if cell is not None else IterationCell()
     faulty = FaultyComm(base, plan, events=log, clock=clk, iteration=it)
-    retrying = RetryingComm(faulty, max_attempts=max_attempts,
+    inner: Communicator = faulty
+    checksum = None
+    if integrity:
+        checksum = ChecksumComm(faulty, events=log, copies=copies)
+        inner = checksum
+    retrying = RetryingComm(inner, max_attempts=max_attempts,
                             clock=clk, events=log,
                             recv_timeout=recv_timeout)
     outer = InstrumentedComm(retrying, log)
     return ResilientStack(faulty=faulty, retrying=retrying, comm=outer,
-                          clock=clk, cell=it, events=log)
+                          clock=clk, cell=it, events=log, checksum=checksum)
 
 
 @dataclass
@@ -98,6 +116,11 @@ class ResilienceReport:
     degraded: bool = False
     result: SolveResult | None = None
     x: np.ndarray | None = None
+    recoveries: int = 0
+    recovery_events: list = field(default_factory=list)
+    resumed_iteration: int = -1
+    integrity_detections: int = 0
+    integrity_repairs: int = 0
 
     def summary(self) -> str:
         status = "converged" if self.converged else "NOT converged"
@@ -105,6 +128,8 @@ class ResilienceReport:
                 f"(rel res {self.relative_residual:.3e}); "
                 f"{len(self.fault_events)} fault(s), {self.retries} "
                 f"retrie(s), {self.rollbacks} rollback(s)"
+                + (f", {self.recoveries} recover(ies)" if self.recoveries
+                   else "")
                 + (", degraded" if self.degraded else ""))
 
 
@@ -114,7 +139,10 @@ def run_resilient(options: SolverOptions,
                   n: int = 32,
                   size: int = 1,
                   max_attempts: int = 5,
-                  recv_timeout: float | None = DEFAULT_RECV_TIMEOUT_S) -> ResilienceReport:
+                  recv_timeout: float | None = DEFAULT_RECV_TIMEOUT_S,
+                  integrity: bool = False,
+                  checkpoint_dir=None,
+                  resume: bool = False) -> ResilienceReport:
     """Solve the ``n``×``n`` crooked-pipe system through the fault stack.
 
     Builds the benchmark's first-implicit-step system, decomposes it over
@@ -122,6 +150,15 @@ def run_resilient(options: SolverOptions,
     communicator via :func:`build_resilient_comm`, and solves with
     ``options`` — guard and degradation behaviour included when the
     options enable them (``guard_interval > 0``).
+
+    ``integrity=True`` adds the :class:`ChecksumComm` layer.  With a
+    ``checkpoint_dir`` the guard additionally persists every snapshot to a
+    per-rank durable shard; ``resume=True`` then restores from those
+    shards before solving: the ranks vote (min over per-rank shard
+    iterations, an allreduce under the recovery scope) on the collective
+    checkpoint to resume from, rebuild ``x0`` from their saved state, and
+    refresh halos from their neighbours — the comm traffic of all of
+    which lands under :data:`~repro.utils.events.RECOVERY_KIND`.
     """
     from repro.testing import crooked_pipe_system
 
@@ -131,21 +168,54 @@ def run_resilient(options: SolverOptions,
     def rank_main(comm):
         stack = build_resilient_comm(comm, plan,
                                      max_attempts=max_attempts,
-                                     recv_timeout=recv_timeout)
+                                     recv_timeout=recv_timeout,
+                                     integrity=integrity)
         tile = decompose(grid, comm.size)[comm.rank]
         op = StencilOperator2D.from_global_faces(tile, halo, kxg, kyg,
                                                  stack.comm,
                                                  events=stack.events)
         b = Field.from_global(tile, halo, bg)
+        store = None
+        if checkpoint_dir is not None:
+            store = SolverCheckpointStore(Path(checkpoint_dir), comm.rank)
         guard = None
         if options.guard_interval > 0:
             guard = SolverGuard(
                 checkpoint_interval=options.guard_interval,
                 divergence_ratio=options.guard_divergence_ratio,
                 max_rollbacks=options.guard_max_rollbacks,
-                iteration=stack.cell)
-        result = solve_linear(op, b, options=options, guard=guard)
-        return tile, result, stack, guard
+                iteration=stack.cell,
+                store=store)
+        x0 = None
+        resumed = -1
+        if resume:
+            if store is None:
+                raise CheckpointError(
+                    "resume=True requires a checkpoint_dir")
+            loaded = store.load()
+            with recovery_scope(stack.events):
+                # Failure vote: every rank contributes its durable shard's
+                # iteration (-1 = no shard); the min is the collective
+                # checkpoint all ranks can satisfy.  Float-typed so the
+                # injector's corruption model applies to it like any
+                # other reduction.
+                mine = float(loaded[0]) if loaded is not None else -1.0
+                resumed = int(stack.comm.allreduce(mine, "min"))
+                if resumed >= 0:
+                    saved_x = loaded[1].get("x")
+                    if saved_x is not None:
+                        x0 = op.new_field()
+                        if saved_x.shape != x0.data.shape:
+                            raise CheckpointError(
+                                f"rank {comm.rank}: saved solver state is "
+                                f"{saved_x.shape}, tile needs "
+                                f"{x0.data.shape}")
+                        x0.data[...] = saved_x
+                        # Neighbour halo refresh: the replacement rank's
+                        # reconstructed subdomain gets live boundary data.
+                        op.exchanger.exchange([x0], depth=1)
+        result = solve_linear(op, b, x0=x0, options=options, guard=guard)
+        return tile, result, stack, guard, resumed
 
     out = launch_spmd(rank_main, size)
 
@@ -153,12 +223,16 @@ def run_resilient(options: SolverOptions,
     faults: list[FaultEvent] = []
     guard_log: list[GuardEvent] = []
     retries = rollbacks = checkpoints = 0
+    detections = repairs = 0
     vtime = 0.0
-    for tile, result, stack, guard in out:
+    for tile, result, stack, guard, _resumed in out:
         x[tile.global_slices] = result.x.interior
         faults.extend(stack.faulty.log)
         retries += stack.retrying.retries
         vtime = max(vtime, stack.clock.now)
+        if stack.checksum is not None:
+            detections += stack.checksum.detections
+            repairs += stack.checksum.repairs
         if guard is not None:
             guard_log.extend(guard.log)
             rollbacks += guard.rollbacks
@@ -186,4 +260,7 @@ def run_resilient(options: SolverOptions,
         degraded=bool(getattr(r0, "degraded", False)),
         result=r0,
         x=x,
+        resumed_iteration=out[0][4],
+        integrity_detections=detections,
+        integrity_repairs=repairs,
     )

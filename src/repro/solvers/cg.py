@@ -28,6 +28,7 @@ from repro.solvers.preconditioners import (
 )
 from repro.solvers.result import SolveResult
 from repro.utils.errors import ConvergenceError, stall_error
+from repro.utils.events import recovery_scope
 from repro.utils.validation import check_finite_field, check_positive
 
 if TYPE_CHECKING:
@@ -70,6 +71,8 @@ def cg_solve(
     solver_name: str = "cg",
     raise_on_stall: bool = False,
     guard: "SolverGuard | None" = None,
+    abft_interval: int = 0,
+    abft_tolerance: float = 1e-6,
 ) -> SolveResult:
     """Solve ``A x = b`` with (preconditioned) CG.
 
@@ -100,6 +103,18 @@ def cg_solve(
         instead of raising when an iteration is unhealthy (bounded by the
         guard's rollback budget).  With ``guard=None`` behaviour is
         byte-identical to the unguarded solver.
+    abft_interval:
+        When positive, every this many iterations the *true* residual
+        ``b - A x`` is recomputed and its norm compared against the
+        recurrence's ``||r||`` — the ABFT-style replay that catches
+        corruption checksums cannot see (a consistently corrupted
+        recurrence whose own norm still looks healthy).  The replay's
+        halo exchange and reduction run under the recovery scope, so
+        contract counts see first-attempt traffic only.
+    abft_tolerance:
+        Relative drift budget for the replay check: a deviation beyond
+        ``abft_tolerance * reference`` triggers a guard rollback (or a
+        :class:`ConvergenceError` without a guard).
 
     Returns
     -------
@@ -109,6 +124,8 @@ def cg_solve(
     """
     check_positive("eps", eps)
     check_positive("max_iters", max_iters)
+    check_positive("abft_interval", abft_interval, allow_zero=True)
+    check_positive("abft_tolerance", abft_tolerance)
     check_finite_field("b", b)
     check_finite_field("x0", x0)
     M = preconditioner if preconditioner is not None else IdentityPreconditioner(op)
@@ -153,20 +170,22 @@ def cg_solve(
             if guard is not None:
                 guard.begin(iterations)
                 if guard.due(iterations):
-                    guard.save(iterations,
-                               fields={"x": x, "r": r, "p": p},
-                               scalars={"rz": rz, "rr": rr,
-                                        "pa": precond_applies,
-                                        "steps": len(alphas)})
+                    with tracer.span("checkpoint", solver_name):
+                        guard.save(iterations,
+                                   fields={"x": x, "r": r, "p": p},
+                                   scalars={"rz": rz, "rr": rr,
+                                            "pa": precond_applies,
+                                            "steps": len(alphas)})
             op.apply(p, w)
             (pw,) = op.dots([(p, w)])
             if guard is not None and not (np.isfinite(pw) and pw > 0.0):
                 # Corrupted reduction or perturbed direction vector: restore
                 # the last checkpoint and replay (the fault stream has moved
                 # on, so the replayed iterations see clean communication).
-                snap = guard.rollback(f"<p, Ap> = {pw:.3e}")
-                iterations, rz, rr, precond_applies, res_norm = _rewind(
-                    snap, alphas, betas, history)
+                with tracer.span("recover", solver_name):
+                    snap = guard.rollback(f"<p, Ap> = {pw:.3e}")
+                    iterations, rz, rr, precond_applies, res_norm = _rewind(
+                        snap, alphas, betas, history)
                 continue
             if pw <= 0.0:
                 raise ConvergenceError(
@@ -190,15 +209,41 @@ def cg_solve(
             res_norm = float(np.sqrt(rr))
             history.append(res_norm)
             if guard is not None and not guard.healthy(res_norm):
-                snap = guard.rollback(f"residual norm {res_norm:.3e}")
-                iterations, rz, rr, precond_applies, res_norm = _rewind(
-                    snap, alphas, betas, history)
+                with tracer.span("recover", solver_name):
+                    snap = guard.rollback(f"residual norm {res_norm:.3e}")
+                    iterations, rz, rr, precond_applies, res_norm = _rewind(
+                        snap, alphas, betas, history)
                 continue
             if not np.isfinite(res_norm):
                 raise ConvergenceError(
                     f"CG diverged at iteration {iterations}: residual is "
                     "non-finite (indefinite preconditioner or bad eigenvalue "
                     "bounds?)")
+            if abft_interval and iterations % abft_interval == 0:
+                # ABFT residual replay: recompute the *true* residual and
+                # check the recurrence hasn't silently drifted away from it
+                # (w is free scratch here; its next use overwrites it).
+                # Its extra halo exchange + reduction run under the
+                # recovery scope so contract counts stay first-attempt.
+                with tracer.span("recover", "abft_replay"), \
+                        recovery_scope(op.events,
+                                       getattr(op.comm, "events", None)):
+                    op.residual(b, x, out=w)
+                    (true_rr,) = op.dots([(w, w)])
+                true_norm = float(np.sqrt(true_rr))
+                if abs(true_norm - res_norm) > abft_tolerance * reference:
+                    reason = (f"ABFT replay: true residual {true_norm:.6e} "
+                              f"vs recurrence {res_norm:.6e} at iteration "
+                              f"{iterations}")
+                    if guard is not None:
+                        with tracer.span("recover", solver_name):
+                            snap = guard.rollback(reason)
+                            (iterations, rz, rr, precond_applies,
+                             res_norm) = _rewind(snap, alphas, betas,
+                                                 history)
+                        continue
+                    raise ConvergenceError(
+                        f"silent corruption detected — {reason}")
             if res_norm <= threshold:
                 converged = True
                 break

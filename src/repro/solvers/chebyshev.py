@@ -283,6 +283,8 @@ def chebyshev_solve(
     check_positive("check_interval", check_interval)
     check_finite_field("b", b)
     check_finite_field("x0", x0)
+    from repro.observe.trace import tracer_of
+    tracer = tracer_of(op)
     local_M = make_local_preconditioner(op, preconditioner)
     warmup = cg_solve(op, b, x0, eps=eps, max_iters=warmup_iters,
                       preconditioner=local_M, solver_name="chebyshev",
@@ -310,11 +312,13 @@ def chebyshev_solve(
         if guard is not None:
             guard.begin(steps_offset + it.steps_done)
             if guard.due(steps_offset + it.steps_done):
-                guard.save(steps_offset + it.steps_done,
-                           fields={"x": x, "rr": rr, "d": it.d},
-                           scalars={"rho": it.rho, "steps": it.steps_done,
-                                    "since": it._since_exchange,
-                                    "hist": len(history)})
+                with tracer.span("checkpoint", "chebyshev"):
+                    guard.save(steps_offset + it.steps_done,
+                               fields={"x": x, "rr": rr, "d": it.d},
+                               scalars={"rho": it.rho,
+                                        "steps": it.steps_done,
+                                        "since": it._since_exchange,
+                                        "hist": len(history)})
         try:
             it.run(min(check_interval,
                        max_iters - steps_offset - it.steps_done))
@@ -333,21 +337,24 @@ def chebyshev_solve(
             if guard is not None:
                 # Re-anchor the checkpoint on the new recurrence state:
                 # the previous snapshot referenced the abandoned one.
-                guard.save(steps_offset + it.steps_done,
-                           fields={"x": x, "rr": rr, "d": it.d},
-                           scalars={"rho": it.rho, "steps": it.steps_done,
-                                    "since": it._since_exchange,
-                                    "hist": len(history)})
+                with tracer.span("checkpoint", "chebyshev"):
+                    guard.save(steps_offset + it.steps_done,
+                               fields={"x": x, "rr": rr, "d": it.d},
+                               scalars={"rho": it.rho,
+                                        "steps": it.steps_done,
+                                        "since": it._since_exchange,
+                                        "hist": len(history)})
             continue
         res_norm = float(np.sqrt(op.dot(rr, rr)))
         history.append(res_norm)
         if guard is not None and not guard.healthy(res_norm):
-            snap = guard.rollback(f"residual norm {res_norm:.3e}")
-            it.rho = snap.scalars["rho"]
-            it.steps_done = snap.scalars["steps"]
-            it._since_exchange = snap.scalars["since"]
-            del history[snap.scalars["hist"]:]
-            res_norm = history[-1]
+            with tracer.span("recover", "chebyshev"):
+                snap = guard.rollback(f"residual norm {res_norm:.3e}")
+                it.rho = snap.scalars["rho"]
+                it.steps_done = snap.scalars["steps"]
+                it._since_exchange = snap.scalars["since"]
+                del history[snap.scalars["hist"]:]
+                res_norm = history[-1]
             continue
         if not np.isfinite(res_norm):
             raise ConvergenceError(

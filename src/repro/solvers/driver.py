@@ -55,7 +55,8 @@ def _dispatch(op, b, x0, opt, guard) -> SolveResult:
         M = make_local_preconditioner(op, opt.preconditioner)
         return cg_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters,
                         preconditioner=M, raise_on_stall=opt.raise_on_stall,
-                        guard=guard)
+                        guard=guard, abft_interval=opt.abft_interval,
+                        abft_tolerance=opt.abft_tolerance)
     if opt.solver == "cg_fused":
         from repro.solvers.cg_fused import cg_fused_solve
         M = make_local_preconditioner(op, opt.preconditioner)
@@ -91,6 +92,8 @@ def _dispatch(op, b, x0, opt, guard) -> SolveResult:
             raise_on_stall=opt.raise_on_stall,
             guard=guard,
             degrade=opt.degrade,
+            abft_interval=opt.abft_interval,
+            abft_tolerance=opt.abft_tolerance,
         )
     if opt.solver == "mgcg":
         # Imported lazily: multigrid builds on this package.  Serial runs

@@ -76,6 +76,31 @@ class SolverOptions:
     #: spectrum bounds; matrix-powers depth falls back to 1 on repeated
     #: halo-exchange failure.
     degrade: bool = False
+    #: Durable checkpointing (see :mod:`repro.resilience.checkpoint`):
+    #: commit an atomic on-disk simulation checkpoint every this many
+    #: steps.  0 disables durable checkpoints; > 0 requires
+    #: ``checkpoint_dir``.
+    checkpoint_interval: int = 0
+    #: Directory receiving the versioned ``step-*`` checkpoint
+    #: directories (and the guard's per-rank solver shards).
+    checkpoint_dir: str = ""
+    #: Rank-loss recovery (ULFM-style shrink/respawn, see
+    #: :mod:`repro.resilience.recovery`).  Requires durable state to
+    #: resume from: either ``checkpoint_interval > 0`` or
+    #: ``guard_interval > 0`` with a ``checkpoint_dir``.
+    recovery: bool = False
+    #: Integrity layer (:class:`~repro.resilience.integrity.ChecksumComm`):
+    #: checksummed redundant message envelopes + duplicate-lane
+    #: reductions, turning silent payload corruption into retryable
+    #: faults.
+    integrity: bool = False
+    #: ABFT residual replay: every this many CG/PPCG iterations recompute
+    #: the true residual ``b - A x`` and compare against the recurrence
+    #: (0 disables).
+    abft_interval: int = 0
+    #: Relative drift tolerated by the ABFT replay before it triggers a
+    #: rollback.
+    abft_tolerance: float = 1e-6
 
     def __post_init__(self):
         check_in("solver", self.solver, SOLVERS)
@@ -102,6 +127,29 @@ class SolverOptions:
         lo, hi = self.eigen_safety
         require(0 < lo <= 1.0 <= hi,
                 f"eigen_safety must satisfy 0 < lo <= 1 <= hi, got {self.eigen_safety}")
+        check_positive("checkpoint_interval", self.checkpoint_interval,
+                       allow_zero=True)
+        check_positive("abft_interval", self.abft_interval, allow_zero=True)
+        check_positive("abft_tolerance", self.abft_tolerance)
+        require(
+            not (self.checkpoint_interval > 0 and not self.checkpoint_dir),
+            "checkpoint_interval > 0 requires a checkpoint_dir to write "
+            "the durable checkpoints into",
+        )
+        require(
+            not (self.recovery
+                 and self.checkpoint_interval <= 0
+                 and self.guard_interval <= 0),
+            "recovery enabled without a checkpoint cadence: set "
+            "checkpoint_interval > 0 (durable step checkpoints) or "
+            "guard_interval > 0 (durable solver shards) so there is "
+            "state to resume from",
+        )
+        require(
+            not (self.recovery and not self.checkpoint_dir),
+            "recovery enabled without a checkpoint_dir: the respawned "
+            "rank rebuilds its subdomain from the on-disk shards",
+        )
 
     @property
     def required_field_halo(self) -> int:

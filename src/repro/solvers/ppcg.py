@@ -84,6 +84,8 @@ def ppcg_solve(
     raise_on_stall: bool = False,
     guard: "SolverGuard | None" = None,
     degrade: bool = False,
+    abft_interval: int = 0,
+    abft_tolerance: float = 1e-6,
 ) -> SolveResult:
     """Solve ``A x = b`` with CPPCG.
 
@@ -119,6 +121,12 @@ def ppcg_solve(
         Optional :class:`~repro.resilience.guard.SolverGuard`, threaded
         through to every inner ``cg_solve`` phase (warm-up, outer,
         re-warm-up) for checkpoint/rollback recovery.
+    abft_interval, abft_tolerance:
+        Periodic ABFT residual-replay check threaded through to every
+        ``cg_solve`` phase (see :func:`~repro.solvers.cg.cg_solve`) —
+        particularly valuable here, where the fused inner/outer structure
+        lets undetected corruption propagate across ``inner_steps``
+        stencil applications before any residual check sees it.
     degrade:
         Graceful degradation: fall back to *plain CG* when the Chebyshev
         preconditioner is unusable (invalid/non-finite spectrum bounds,
@@ -146,7 +154,8 @@ def ppcg_solve(
     with tracer.span("phase", "warmup"):
         warmup = cg_solve(op, b, x0, eps=eps, max_iters=warmup_iters,
                           preconditioner=local_M, solver_name="ppcg",
-                          guard=guard)
+                          guard=guard, abft_interval=abft_interval,
+                          abft_tolerance=abft_tolerance)
     if warmup.converged:
         warmup.warmup_iterations = warmup.iterations
         warmup.iterations = 0
@@ -195,6 +204,8 @@ def ppcg_solve(
                     reference_norm=reference,
                     solver_name="ppcg",
                     guard=guard,
+                    abft_interval=abft_interval,
+                    abft_tolerance=abft_tolerance,
                 )
         except CommunicationError:
             if degrade and depth > 1:
@@ -238,7 +249,8 @@ def ppcg_solve(
             rewarm = cg_solve(op, b, current_x, eps=eps,
                               max_iters=warmup_iters,
                               reference_norm=reference, solver_name="ppcg",
-                              guard=guard)
+                              guard=guard, abft_interval=abft_interval,
+                              abft_tolerance=abft_tolerance)
         extra_warmup += rewarm.iterations
         history_prefix += rewarm.history[1:]
         current_x = rewarm.x
@@ -261,7 +273,8 @@ def ppcg_solve(
             outer = cg_solve(op, b, current_x, eps=eps,
                              max_iters=max(budget, 1),
                              reference_norm=reference, solver_name="ppcg",
-                             guard=guard)
+                             guard=guard, abft_interval=abft_interval,
+                             abft_tolerance=abft_tolerance)
         history_prefix += outer.history[1:]
         current_x = outer.x
 

@@ -46,6 +46,25 @@ class TransientCommError(CommunicationError):
     """
 
 
+class ChecksumError(TransientCommError):
+    """A checksummed message envelope failed verification.
+
+    Raised by :class:`~repro.resilience.integrity.ChecksumComm` when every
+    redundant copy of a payload arrives corrupted (or a duplicate-lane
+    reduction disagrees with itself).  Derives from
+    :class:`TransientCommError` so the retry layer treats detected silent
+    corruption exactly like a flaky wire: re-issue the operation.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A durable checkpoint could not be written, read or validated.
+
+    Covers missing/truncated shard files, manifest mismatches and CRC32
+    failures detected by :mod:`repro.resilience.checkpoint`.
+    """
+
+
 def stall_error(solver: str, iterations: int, residual_norm: float,
                 reference_norm: float, eps: float,
                 result=None) -> ConvergenceError:

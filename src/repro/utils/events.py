@@ -11,8 +11,17 @@ per-iteration communication formulas against what the solvers actually do.
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
+
+#: Kind under which events recorded inside a recovery scope are re-bucketed.
+#: Recovery work (checkpoint restores, failure votes, halo refreshes, ABFT
+#: residual replays) performs real communication, but the per-iteration
+#: ``COMM_CONTRACT`` verification must keep seeing first-attempt counts only —
+#: so while a log is inside :func:`recovery_scope`, every ``record(kind, key)``
+#: lands in ``(RECOVERY_KIND, kind)`` instead of ``(kind, key)``.
+RECOVERY_KIND = "comm_recovery"
 
 
 @dataclass
@@ -27,9 +36,12 @@ class EventLog:
 
     counts: Counter = field(default_factory=Counter)
     quantities: dict = field(default_factory=dict)
+    _recovery_depth: int = field(default=0, repr=False, compare=False)
 
     def record(self, kind: str, key: Any = None, n: int = 1, **amounts: float) -> None:
         """Record ``n`` occurrences of an event with additive payloads."""
+        if self._recovery_depth and kind != RECOVERY_KIND:
+            kind, key = RECOVERY_KIND, kind
         bucket = (kind, key)
         self.counts[bucket] += n
         if amounts:
@@ -54,6 +66,21 @@ class EventLog:
             for (k, _key), q in self.quantities.items()
             if k == kind
         )
+
+    def recovery_count(self, kind: str | None = None) -> int:
+        """Events rerouted into the recovery bucket (optionally one kind)."""
+        if kind is None:
+            return self.count_kind(RECOVERY_KIND)
+        return self.count(RECOVERY_KIND, kind)
+
+    @contextmanager
+    def recovery_scope(self):
+        """Reroute records into ``RECOVERY_KIND`` for the ``with`` body."""
+        self._recovery_depth += 1
+        try:
+            yield self
+        finally:
+            self._recovery_depth -= 1
 
     def keys_for(self, kind: str) -> list:
         """All refinement keys observed for ``kind``."""
@@ -88,3 +115,29 @@ class EventLog:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         rows = ", ".join(f"{k}:{v}" for k, v in sorted(self.counts.items(), key=str))
         return f"EventLog({rows})"
+
+
+@contextmanager
+def recovery_scope(*logs: "EventLog | None"):
+    """Enter the recovery scope of several logs at once.
+
+    ``None`` entries and duplicates (the same log reachable through two
+    wrappers) are tolerated, so call sites can pass every log they can see
+    without worrying about aliasing::
+
+        with recovery_scope(op.events, getattr(comm, "events", None)):
+            exchanger.exchange([x], depth=1)
+    """
+    unique: list[EventLog] = []
+    seen: set[int] = set()
+    for log in logs:
+        if log is not None and id(log) not in seen:
+            seen.add(id(log))
+            unique.append(log)
+    for log in unique:
+        log._recovery_depth += 1
+    try:
+        yield
+    finally:
+        for log in unique:
+            log._recovery_depth -= 1

@@ -112,6 +112,54 @@ def test_excess_halo_exchange_flagged(tmp_path):
     assert codes(run(tmp_path)) == ["RPR003"]
 
 
+def test_recovery_scope_body_excluded(tmp_path):
+    # Communication under ``with recovery_scope(...)`` is recovery-path
+    # traffic (rerouted under RECOVERY_KIND at runtime), so the static
+    # budget must not charge it — this is how ABFT replay in cg_solve
+    # stays within the declared first-attempt contract.
+    write_solver(tmp_path, """
+        from repro.comm import recovery_scope
+
+        COMM_CONTRACT = {"solver": "my", "halo_exchanges_per_iter": 1,
+                         "allreduces_per_iter": 2, "halo_depth": 1}
+
+        def my_solve(op, b, max_iters=10):
+            it = 0
+            while it < max_iters:
+                op.apply(b, b)
+                pw = op.dots([(b, b)])
+                rz = op.dots([(b, b)])
+                if it % 8 == 0:
+                    with recovery_scope(op.events):
+                        op.residual(b, b, out=b)
+                        check = op.dots([(b, b)])
+                it += 1
+    """)
+    assert codes(run(tmp_path)) == []
+
+
+def test_same_comm_outside_recovery_scope_flagged(tmp_path):
+    # The identical replay block without recovery_scope exceeds both
+    # budgets: the exclusion is keyed on the context manager, not on the
+    # shape of the code.
+    write_solver(tmp_path, """
+        COMM_CONTRACT = {"solver": "my", "halo_exchanges_per_iter": 1,
+                         "allreduces_per_iter": 2, "halo_depth": 1}
+
+        def my_solve(op, b, max_iters=10):
+            it = 0
+            while it < max_iters:
+                op.apply(b, b)
+                pw = op.dots([(b, b)])
+                rz = op.dots([(b, b)])
+                if it % 8 == 0:
+                    op.residual(b, b, out=b)
+                    check = op.dots([(b, b)])
+                it += 1
+    """)
+    assert sorted(codes(run(tmp_path))) == ["RPR002", "RPR003"]
+
+
 def test_branches_count_max_not_sum(tmp_path):
     write_solver(tmp_path, """
         COMM_CONTRACT = {"solver": "my", "halo_exchanges_per_iter": 1,

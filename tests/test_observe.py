@@ -577,7 +577,7 @@ def test_resilience_sweep_schema_with_metrics_oracle():
     solvers = SOLVERS[:1]  # cg only: keep the sweep short
     sweep = run_resilience_sweep(n=16, rates=(0.0, 0.01), solvers=solvers)
     doc = sweep.as_dict()
-    assert doc["schema"] == "repro.resilience_sweep/v1"
+    assert doc["schema"] == "repro.resilience_sweep/v2"
     assert doc["solvers"] == ["cg"] and doc["rates"] == [0.0, 0.01]
     assert len(doc["cells"]) == 2
     json.dumps(doc)  # JSON-ready
@@ -593,6 +593,12 @@ def test_resilience_sweep_schema_with_metrics_oracle():
         assert cell["rollbacks"] == snap["counters"]["resilience.rollbacks"]
         assert cell["checkpoints"] == \
             snap["counters"]["resilience.checkpoints"]
+        assert cell["recoveries"] == \
+            snap["counters"]["resilience.recoveries"]
+        assert cell["integrity_detections"] == \
+            snap["counters"]["resilience.integrity_detections"]
+        assert cell["integrity_repairs"] == \
+            snap["counters"]["resilience.integrity_repairs"]
         assert cell["converged"] == \
             bool(snap["gauges"]["resilience.converged"])
         assert cell["degraded"] == bool(snap["gauges"]["resilience.degraded"])
