@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench report figures examples trace lint verify-contracts resilience restart-demo clean
+.PHONY: install test test-fast bench report figures examples trace lint verify-contracts resilience restart-demo stability clean
 
 install:
 	pip install -e .
@@ -92,6 +92,13 @@ restart-demo:
 	resumed = np.load('results/restart-demo/resumed.npy'); \
 	assert np.array_equal(full, resumed), 'restart drifted from the uninterrupted run'; \
 	print('restart is bit-identical to the uninterrupted run')"
+
+# Numerical stability: sweep the ill-conditioned crooked-pipe battery
+# across solver x working-dtype x matrix-powers depth, unprotected vs
+# protected by the repro.numerics stack (docs/numerics.md; exits non-zero
+# when any protected cell misses tolerance without a diagnosis).
+stability:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.harness.stability_sweep --n 16
 
 clean:
 	rm -rf results .pytest_cache src/repro.egg-info

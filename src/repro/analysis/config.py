@@ -21,6 +21,12 @@ DEFAULT_IGNORE_RECEIVERS = frozenset(
 #: modules — only these are required to carry a ``COMM_CONTRACT``.
 DEFAULT_SOLVER_GLOBS = ("*/solvers/*.py",)
 
+#: Path globs of the sanctioned mixed-precision layer: RPR005 allows
+#: single-precision dtypes *only* here (:mod:`repro.numerics` owns the
+#: working-dtype knob; everywhere else a ``float32`` literal is still
+#: accidental precision drift).
+DEFAULT_MIXED_PRECISION_GLOBS = ("*/numerics/*.py",)
+
 
 @dataclass
 class AnalysisConfig:
@@ -29,6 +35,7 @@ class AnalysisConfig:
     paths: tuple[str, ...] = ("src/repro",)
     baseline: str = "analysis-baseline.json"
     solver_globs: tuple[str, ...] = DEFAULT_SOLVER_GLOBS
+    mixed_precision_globs: tuple[str, ...] = DEFAULT_MIXED_PRECISION_GLOBS
     disable: tuple[str, ...] = ()
     select: tuple[str, ...] = ()
     ignore_receivers: frozenset[str] = DEFAULT_IGNORE_RECEIVERS
@@ -43,6 +50,12 @@ class AnalysisConfig:
     def is_solver_path(self, path: Path) -> bool:
         posix = path.as_posix()
         return any(fnmatch.fnmatch(posix, g) for g in self.solver_globs)
+
+    def is_mixed_precision_path(self, path: Path) -> bool:
+        """True when ``path`` belongs to the sanctioned mixed-precision layer."""
+        posix = path.as_posix()
+        return any(fnmatch.fnmatch(posix, g)
+                   for g in self.mixed_precision_globs)
 
     @classmethod
     def from_pyproject(cls, root: Path | None = None) -> "AnalysisConfig":
@@ -59,6 +72,9 @@ class AnalysisConfig:
             baseline=table.get("baseline", "analysis-baseline.json"),
             solver_globs=tuple(
                 table.get("solver-paths", DEFAULT_SOLVER_GLOBS)),
+            mixed_precision_globs=tuple(
+                table.get("mixed-precision-paths",
+                          DEFAULT_MIXED_PRECISION_GLOBS)),
             disable=tuple(table.get("disable", ())),
             select=tuple(table.get("select", ())),
             ignore_receivers=frozenset(

@@ -24,9 +24,10 @@ count is unknowable, and per the paper's budgets no hot loop may contain
 one).  Calls on receivers in ``ignore-receivers`` (preconditioner handles
 like ``M``) are skipped: preconditioner communication is accounted
 separately from the iteration skeleton.  Bodies of ``with
-recovery_scope(...)`` blocks are excluded entirely: at runtime the event
-log reroutes that traffic under ``RECOVERY_KIND``, so it is never part of
-the first-attempt contract the budgets describe.
+recovery_scope(...)`` and ``with replacement_scope(...)`` blocks are
+excluded entirely: at runtime the event log reroutes that traffic under
+``RECOVERY_KIND`` / ``REPLACEMENT_KIND`` respectively, so it is never
+part of the first-attempt contract the budgets describe.
 """
 
 from __future__ import annotations
@@ -187,12 +188,13 @@ class ModuleCostModel:
             items = ZERO
             for item in stmt.items:
                 items = items + self.expr_cost(item.context_expr, class_name)
-            if self._is_recovery_scope(stmt):
-                # Communication inside a ``recovery_scope(...)`` block is
-                # recovery-path traffic: at runtime the event log reroutes
-                # it under RECOVERY_KIND, so the dynamic verifier never
-                # counts it as first-attempt cost — the static budget
-                # mirrors that semantic and excludes the body.
+            if self._is_rerouted_scope(stmt):
+                # Communication inside a ``recovery_scope(...)`` or
+                # ``replacement_scope(...)`` block is rerouted traffic: at
+                # runtime the event log re-buckets it under RECOVERY_KIND /
+                # REPLACEMENT_KIND, so the dynamic verifier never counts it
+                # as first-attempt cost — the static budget mirrors that
+                # semantic and excludes the body.
                 return items
             return items + self.body_cost(stmt.body, class_name)
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
@@ -201,15 +203,19 @@ class ModuleCostModel:
         # Leaf statements: every Call expression inside contributes.
         return self.expr_cost(stmt, class_name)
 
-    @staticmethod
-    def _is_recovery_scope(stmt: ast.With | ast.AsyncWith) -> bool:
-        """True when any with-item enters a ``recovery_scope(...)``."""
+    #: Context managers whose ``with`` bodies the static budget excludes
+    #: (their runtime traffic is re-bucketed away from first-attempt kinds).
+    REROUTED_SCOPES = frozenset({"recovery_scope", "replacement_scope"})
+
+    @classmethod
+    def _is_rerouted_scope(cls, stmt: ast.With | ast.AsyncWith) -> bool:
+        """True when any with-item enters a rerouted event scope."""
         for item in stmt.items:
             ctx = item.context_expr
             if not isinstance(ctx, ast.Call):
                 continue
             parts = dotted_parts(ctx.func)
-            if parts and parts[-1] == "recovery_scope":
+            if parts and parts[-1] in cls.REROUTED_SCOPES:
                 return True
         return False
 

@@ -94,29 +94,38 @@ _DRIFT_STRINGS = frozenset({"float32", "float16", "f4", "f2", "<f4", "<f2"})
 class DtypeDriftRule(Rule):
     code = "RPR005"
     name = "dtype-drift"
-    description = ("kernels are double precision: no float32/float16 "
-                   "dtypes (and, with require-dtype, no dtype-less array "
-                   "construction in solver modules)")
+    description = ("no single-precision dtype literals outside the "
+                   "sanctioned mixed-precision layer (repro.numerics owns "
+                   "the working-dtype knob; and, with require-dtype, no "
+                   "dtype-less array construction in solver modules)")
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if (isinstance(node, ast.Attribute)
-                    and node.attr in _DRIFT_ATTRS
-                    and isinstance(node.value, ast.Name)
-                    and node.value.id in {"np", "numpy"}):
-                yield ctx.finding(
-                    self.code,
-                    f"single-precision dtype np.{node.attr}: kernels are "
-                    "float64 (TeaLeaf is double precision throughout)",
-                    node=node)
-            elif (isinstance(node, ast.keyword) and node.arg == "dtype"
-                    and isinstance(node.value, ast.Constant)
-                    and node.value.value in _DRIFT_STRINGS):
-                yield ctx.finding(
-                    self.code,
-                    f"single-precision dtype {node.value.value!r}: kernels "
-                    "are float64",
-                    node=node.value)
+        # The mixed-precision layer (``mixed-precision-paths``, default
+        # ``*/numerics/*.py``) is the one place allowed to spell
+        # ``np.float32``: every other module must take the working dtype
+        # through the SolverOptions knob, so a literal there is still
+        # accidental precision drift.
+        if not ctx.config.is_mixed_precision_path(ctx.path):
+            for node in ast.walk(ctx.tree):
+                if (isinstance(node, ast.Attribute)
+                        and node.attr in _DRIFT_ATTRS
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id in {"np", "numpy"}):
+                    yield ctx.finding(
+                        self.code,
+                        f"single-precision dtype np.{node.attr}: spell the "
+                        "working precision through the SolverOptions dtype "
+                        "knob (repro.numerics), not a literal",
+                        node=node)
+                elif (isinstance(node, ast.keyword) and node.arg == "dtype"
+                        and isinstance(node.value, ast.Constant)
+                        and node.value.value in _DRIFT_STRINGS):
+                    yield ctx.finding(
+                        self.code,
+                        f"single-precision dtype {node.value.value!r}: spell "
+                        "the working precision through the SolverOptions "
+                        "dtype knob (repro.numerics), not a literal",
+                        node=node.value)
         if ctx.config.require_dtype and ctx.is_solver_module:
             yield from self._check_dtype_less(ctx)
 

@@ -33,6 +33,10 @@ def _cmd_tealeaf(args) -> int:
         recovery=deck.tl_enable_recovery,
         integrity=deck.tl_enable_checksums,
         abft_interval=deck.tl_abft_interval,
+        dtype=deck.tl_working_dtype,
+        refine=deck.tl_enable_refinement,
+        replace_interval=deck.tl_replace_interval,
+        true_residual=deck.tl_check_true_residual,
     )
     n_steps = args.steps if args.steps else deck.n_steps
     report = run_simulation(
@@ -42,9 +46,11 @@ def _cmd_tealeaf(args) -> int:
     print(f"TeaLeaf: {deck.x_cells}x{deck.y_cells} mesh, solver={deck.solver}, "
           f"{n_steps} steps on {args.ranks} rank(s)")
     for s in report.steps:
+        true = (f" true={s.true_residual_norm:.3e}"
+                if s.true_residual_norm is not None else "")
         print(f"  step {s.step:4d} t={s.time:8.3f} iters={s.iterations:5d}"
               f" (+{s.inner_iterations} inner) residual={s.residual_norm:.3e}"
-              f" mean T={s.mean_temperature:.6f}")
+              f"{true} mean T={s.mean_temperature:.6f}")
     if args.show:
         print(render_heatmap(report.temperature, width=args.width))
     if args.out:
@@ -111,6 +117,10 @@ def _cmd_solve(args) -> int:
         preconditioner=deck.tl_preconditioner_type,
         ppcg_inner_steps=deck.tl_ppcg_inner_steps,
         halo_depth=args.halo_depth or deck.tl_ppcg_halo_depth,
+        dtype=args.dtype or deck.tl_working_dtype,
+        refine=deck.tl_enable_refinement,
+        replace_interval=deck.tl_replace_interval,
+        true_residual=args.true_residual or deck.tl_check_true_residual,
     )
     grid = deck.grid
     density, _, u0 = global_initial_state(grid, deck_to_problem(deck))
@@ -263,6 +273,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="override the deck's solver selection")
     p_solve.add_argument("--halo-depth", type=int, default=0,
                          help="override the matrix-powers halo depth")
+    p_solve.add_argument("--dtype", default="",
+                         choices=["", "float32", "float64"],
+                         help="override the working precision "
+                              "(deck: tl_working_dtype)")
+    p_solve.add_argument("--true-residual", action="store_true",
+                         help="recompute ||b - A x|| after the solve and "
+                              "report it next to the recurrence residual")
     p_solve.set_defaults(func=_cmd_solve)
 
     p_trace = sub.add_parser(

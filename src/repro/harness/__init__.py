@@ -18,6 +18,7 @@ from repro.harness.breakdown import run_breakdown
 from repro.harness.depth_sweep import run_depth_sweep
 from repro.harness.future_solvers import run_future_solvers
 from repro.harness.resilience_sweep import run_resilience_sweep
+from repro.harness.stability_sweep import run_stability_sweep
 from repro.harness.table1 import run_table1
 from repro.harness.fig3 import run_fig3
 from repro.harness.fig4 import run_fig4
@@ -38,6 +39,7 @@ __all__ = [
     "run_depth_sweep",
     "run_future_solvers",
     "run_resilience_sweep",
+    "run_stability_sweep",
     "run_fig3",
     "run_fig4",
     "run_fig5",

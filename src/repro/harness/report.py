@@ -40,6 +40,12 @@ def write_report(out_dir: Path, fig3_mesh: int = 48) -> list[Path]:
         write(f"{name}.csv", fig.to_csv())
         write(f"{name}.txt", fig.to_text())
 
+    from repro.harness import stability_sweep
+    sweep = stability_sweep.run_stability_sweep(
+        n=16, jumps=(1e8,),
+        cells=(("cg[depth=1]", "cg", 1), ("cppcg[depth=16]", "ppcg", 16)))
+    write("stability_sweep.txt", stability_sweep.render(sweep))
+
     paths.extend(write_trace_profile(out_dir))
     return paths
 

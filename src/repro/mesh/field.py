@@ -30,34 +30,42 @@ class Field:
     data:
         Optional pre-existing padded array of shape
         ``(tile.ny + 2h, tile.nx + 2h)``; allocated (zeros) when omitted.
+    dtype:
+        Working precision of the allocated array (ignored when ``data`` is
+        supplied — the field then adopts ``data.dtype``).  Defaults to
+        float64, matching TeaLeaf; :mod:`repro.numerics` passes float32
+        here for mixed-precision solves.
     """
 
     tile: Tile
     halo: int
     data: np.ndarray = None
+    dtype: np.dtype = np.float64
 
     def __post_init__(self):
         check_positive("halo", self.halo)
         shape = (self.tile.ny + 2 * self.halo, self.tile.nx + 2 * self.halo)
         if self.data is None:
-            self.data = np.zeros(shape, dtype=np.float64)
+            self.data = np.zeros(shape, dtype=self.dtype)
         else:
             require(self.data.shape == shape,
                     f"padded data shape {self.data.shape} != expected {shape}")
+        self.dtype = self.data.dtype
 
     # -- constructors -------------------------------------------------------
 
     @classmethod
-    def from_global(cls, tile: Tile, halo: int, global_array: np.ndarray) -> "Field":
+    def from_global(cls, tile: Tile, halo: int, global_array: np.ndarray,
+                    dtype: np.dtype = np.float64) -> "Field":
         """Create a field whose interior is this tile's slice of a global array."""
-        f = cls(tile, halo)
+        f = cls(tile, halo, dtype=dtype)
         f.interior[...] = global_array[tile.global_slices]
         return f
 
     @classmethod
     def like(cls, other: "Field") -> "Field":
-        """A zeroed field with the same tile and halo depth."""
-        return cls(other.tile, other.halo)
+        """A zeroed field with the same tile, halo depth and dtype."""
+        return cls(other.tile, other.halo, dtype=other.dtype)
 
     def copy(self) -> "Field":
         return Field(self.tile, self.halo, self.data.copy())

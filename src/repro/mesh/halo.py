@@ -154,11 +154,11 @@ class HaloExchanger:
                            dest=t.right, tag=_TAG_RIGHT)
         if t.left is not None:
             a[rows, h - d:h] = self.comm.recv(source=t.left, tag=_TAG_RIGHT)
-            nbytes += t.ny * d * 8 * 2  # send + recv payload
+            nbytes += t.ny * d * a.itemsize * 2  # send + recv payload
         if t.right is not None:
             a[rows, h + t.nx:h + t.nx + d] = self.comm.recv(
                 source=t.right, tag=_TAG_LEFT)
-            nbytes += t.ny * d * 8 * 2
+            nbytes += t.ny * d * a.itemsize * 2
         return nbytes
 
     def _exchange_y(self, f: Field, d: int) -> int:
@@ -175,11 +175,11 @@ class HaloExchanger:
                            dest=t.up, tag=_TAG_UP)
         if t.down is not None:
             a[h - d:h, cols] = self.comm.recv(source=t.down, tag=_TAG_UP)
-            nbytes += width * d * 8 * 2
+            nbytes += width * d * a.itemsize * 2
         if t.up is not None:
             a[h + t.ny:h + t.ny + d, cols] = self.comm.recv(
                 source=t.up, tag=_TAG_DOWN)
-            nbytes += width * d * 8 * 2
+            nbytes += width * d * a.itemsize * 2
         return nbytes
 
 

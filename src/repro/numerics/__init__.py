@@ -1,0 +1,42 @@
+"""Numerical-robustness layer: mixed precision, residual replacement,
+unified breakdown detection and condition-aware safeguards.
+
+PRs 2 and 4 hardened the stack against *external* faults (injection,
+retry, checkpoint/restart, silent data corruption); this package hardens
+it against *internal* numerical faults — the stability loss that
+communication-avoiding CPPCG with deep matrix-powers halos is known for,
+and the rounding behaviour of reduced working precisions.  See
+``docs/numerics.md`` for the model.
+"""
+
+from repro.numerics.breakdown import BreakdownError, BreakdownGuard
+from repro.numerics.precision import (
+    DTYPES,
+    cast_field,
+    cast_operator,
+    inner_tolerance,
+    resolve_dtype,
+    unit_roundoff,
+)
+from repro.numerics.refine import PrecisionDiagnosis, refined_solve
+from repro.numerics.replacement import (
+    ReplacementStats,
+    ResidualReplacer,
+    attach_true_residual,
+)
+
+__all__ = [
+    "BreakdownError",
+    "BreakdownGuard",
+    "DTYPES",
+    "PrecisionDiagnosis",
+    "ReplacementStats",
+    "ResidualReplacer",
+    "attach_true_residual",
+    "cast_field",
+    "cast_operator",
+    "inner_tolerance",
+    "refined_solve",
+    "resolve_dtype",
+    "unit_roundoff",
+]

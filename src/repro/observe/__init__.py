@@ -40,6 +40,7 @@ from repro.observe.runner import (
     deck_system,
     record_resilience_metrics,
     record_solve_metrics,
+    record_stability_metrics,
     traced_crooked_pipe,
     traced_solve,
 )
@@ -78,4 +79,5 @@ __all__ = [
     "deck_system",
     "record_solve_metrics",
     "record_resilience_metrics",
+    "record_stability_metrics",
 ]

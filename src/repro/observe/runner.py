@@ -27,6 +27,7 @@ __all__ = [
     "deck_system",
     "record_solve_metrics",
     "record_resilience_metrics",
+    "record_stability_metrics",
 ]
 
 
@@ -165,3 +166,27 @@ def record_resilience_metrics(registry: MetricsRegistry, report) -> None:
     registry.gauge("resilience.degraded").set(
         1.0 if report.degraded else 0.0)
     registry.gauge("resilience.virtual_time_s").set(report.virtual_time_s)
+
+
+def record_stability_metrics(registry: MetricsRegistry, cell) -> None:
+    """Fill ``registry`` from one :class:`StabilityCell`.
+
+    The counters mirror the cell schema of
+    :meth:`~repro.harness.stability_sweep.StabilitySweepResult.as_dict`,
+    which is how the test-suite uses this as an independent oracle for
+    the stability sweep's numerics accounting.
+    """
+    registry.counter("stability.iterations").inc(cell.iterations)
+    registry.counter("stability.total_iterations").inc(cell.total_iterations)
+    registry.counter("stability.replacement_checks").inc(
+        cell.replacement_checks)
+    registry.counter("stability.replacement_splices").inc(
+        cell.replacement_splices)
+    registry.counter("stability.refinement_steps").inc(cell.refinement_steps)
+    registry.counter("stability.breakdowns").inc(1 if cell.breakdown else 0)
+    registry.gauge("stability.true_residual").set(cell.true_residual)
+    registry.gauge("stability.recurrence_residual").set(
+        cell.recurrence_residual)
+    registry.gauge("stability.drift_orders").set(cell.drift_orders)
+    registry.gauge("stability.converged").set(1.0 if cell.converged else 0.0)
+    registry.gauge("stability.escalated").set(1.0 if cell.escalated else 0.0)

@@ -15,7 +15,10 @@ from repro.physics.conduction import (
 from repro.physics.problems import (
     RegionSpec,
     ProblemSpec,
+    STABILITY_JUMPS,
     crooked_pipe,
+    crooked_pipe_jump,
+    stability_battery,
     uniform_problem,
     hot_square,
 )
@@ -38,7 +41,10 @@ __all__ = [
     "face_coefficients_3d",
     "RegionSpec",
     "ProblemSpec",
+    "STABILITY_JUMPS",
     "crooked_pipe",
+    "crooked_pipe_jump",
+    "stability_battery",
     "uniform_problem",
     "hot_square",
     "build_fields",

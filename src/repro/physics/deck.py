@@ -54,6 +54,12 @@ _RESILIENCE_FLAGS = {
     "tl_enable_checksums": "tl_enable_checksums",
 }
 
+#: Bare-flag numerics toggles (see :mod:`repro.numerics`).
+_NUMERICS_FLAGS = {
+    "tl_enable_refinement": "tl_enable_refinement",
+    "tl_check_true_residual": "tl_check_true_residual",
+}
+
 
 @dataclass
 class Deck:
@@ -81,6 +87,10 @@ class Deck:
     tl_abft_interval: int = 0
     tl_enable_recovery: bool = False
     tl_enable_checksums: bool = False
+    tl_working_dtype: str = "float64"
+    tl_replace_interval: int = 0
+    tl_enable_refinement: bool = False
+    tl_check_true_residual: bool = False
     summary_frequency: int = 0
     visit_frequency: int = 0
 
@@ -169,6 +179,9 @@ def parse_deck_text(text: str) -> Deck:
         if low in _RESILIENCE_FLAGS:
             setattr(deck, _RESILIENCE_FLAGS[low], True)
             continue
+        if low in _NUMERICS_FLAGS:
+            setattr(deck, _NUMERICS_FLAGS[low], True)
+            continue
         if "=" not in line:
             raise ConfigurationError(f"line {lineno}: unrecognised entry {line!r}")
         key, val = (s.strip() for s in line.split("=", 1))
@@ -201,6 +214,7 @@ def _apply_setting(deck: Deck, key: str, val: str, lineno: int) -> None:
         "tl_checkpoint_interval": ("tl_checkpoint_interval", int),
         "tl_checkpoint_dir": ("tl_checkpoint_dir", str),
         "tl_abft_interval": ("tl_abft_interval", int),
+        "tl_replace_interval": ("tl_replace_interval", int),
         "summary_frequency": ("summary_frequency", int),
         "visit_frequency": ("visit_frequency", int),
     }
@@ -224,6 +238,14 @@ def _apply_setting(deck: Deck, key: str, val: str, lineno: int) -> None:
         except ValueError:
             raise ConfigurationError(
                 f"line {lineno}: unknown tl_coefficient {val!r}")
+        return
+    if key == "tl_working_dtype":
+        from repro.solvers.options import WORKING_DTYPES
+        if val not in WORKING_DTYPES:
+            raise ConfigurationError(
+                f"line {lineno}: unknown tl_working_dtype {val!r}; "
+                f"expected one of {list(WORKING_DTYPES)}")
+        deck.tl_working_dtype = val
         return
     raise ConfigurationError(f"line {lineno}: unknown setting {key!r}")
 

@@ -110,6 +110,52 @@ def crooked_pipe() -> ProblemSpec:
     )
 
 
+#: Conductivity jumps of the numerical-stability battery (paper §VIII asks
+#: how the solver family behaves "at extreme condition numbers"; these
+#: decks answer it for the numerics layer).
+STABILITY_JUMPS = (1e4, 1e6, 1e8, 1e10)
+
+
+def crooked_pipe_jump(jump: float = 1e3) -> ProblemSpec:
+    """Crooked pipe with a parameterised conductivity jump.
+
+    The stock :func:`crooked_pipe` has a fixed pipe/background conductivity
+    ratio of 1e3 (rho 100 vs 0.1 under ``RECIP_DENSITY``).  This variant
+    keeps the same geometry but splits a requested ``jump`` symmetrically
+    about the stock geometric mean (rho = sqrt(10)): densities
+    ``sqrt(10) * sqrt(jump)`` (background) and ``sqrt(10) / sqrt(jump)``
+    (pipe), so the
+    face-coefficient contrast — and with it the spread of the operator
+    spectrum — scales directly with ``jump``.  ``crooked_pipe_jump(1e3)``
+    reproduces the benchmark densities exactly.  Jumps of 1e4-1e10
+    (:data:`STABILITY_JUMPS`) drive the ill-conditioned battery behind
+    :mod:`repro.harness.stability_sweep`.
+    """
+    check_positive("jump", jump)
+    s = float(np.sqrt(jump))
+    mean = float(np.sqrt(10.0))
+    rho_bg, rho_pipe = mean * s, mean / s
+    return ProblemSpec(
+        name=f"crooked_pipe[jump={jump:g}]",
+        regions=(
+            RegionSpec(density=rho_bg, energy=0.0001),
+            RegionSpec(density=rho_pipe, energy=25.0,
+                       geometry="rectangle", bounds=(0.0, 1.0, 1.0, 2.0)),
+            RegionSpec(density=rho_pipe, energy=0.1,
+                       geometry="rectangle", bounds=(1.0, 6.0, 1.0, 2.0)),
+            RegionSpec(density=rho_pipe, energy=0.1,
+                       geometry="rectangle", bounds=(5.0, 6.0, 1.0, 8.0)),
+            RegionSpec(density=rho_pipe, energy=0.1,
+                       geometry="rectangle", bounds=(5.0, 10.0, 7.0, 8.0)),
+        ),
+    )
+
+
+def stability_battery(jumps: tuple = STABILITY_JUMPS) -> tuple[ProblemSpec, ...]:
+    """The ill-conditioned problem battery: one crooked pipe per jump."""
+    return tuple(crooked_pipe_jump(j) for j in jumps)
+
+
 def uniform_problem(density: float = 1.0, energy: float = 1.0) -> ProblemSpec:
     """Homogeneous medium — the simplest well-conditioned test problem."""
     return ProblemSpec(name="uniform",

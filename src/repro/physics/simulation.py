@@ -48,6 +48,9 @@ class StepStats:
     mean_temperature: float
     #: attached when run(summary_frequency=...) hits this step
     summary: object = None
+    #: true residual ``||b - A u_new||`` — None unless the deck/options
+    #: requested it (``SolverOptions.true_residual`` or refinement)
+    true_residual_norm: float | None = None
 
 
 @dataclass
@@ -236,6 +239,7 @@ class Simulation:
             converged=result.converged,
             residual_norm=result.residual_norm,
             mean_temperature=self.mean_temperature(),
+            true_residual_norm=result.true_residual_norm,
         )
 
     def run(self, n_steps: int,

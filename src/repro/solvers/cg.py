@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.mesh.field import Field
+from repro.numerics.breakdown import BreakdownGuard
+from repro.numerics.replacement import ResidualReplacer
 from repro.solvers.operator import StencilOperator2D
 from repro.solvers.preconditioners import (
     IdentityPreconditioner,
@@ -28,7 +30,7 @@ from repro.solvers.preconditioners import (
 )
 from repro.solvers.result import SolveResult
 from repro.utils.errors import ConvergenceError, stall_error
-from repro.utils.events import recovery_scope
+from repro.utils.events import recovery_scope, replacement_scope
 from repro.utils.validation import check_finite_field, check_positive
 
 if TYPE_CHECKING:
@@ -73,6 +75,10 @@ def cg_solve(
     guard: "SolverGuard | None" = None,
     abft_interval: int = 0,
     abft_tolerance: float = 1e-6,
+    replace_interval: int = 0,
+    replace_adaptive: bool = False,
+    replace_tolerance: float = 0.0,
+    stagnation_window: int = 0,
 ) -> SolveResult:
     """Solve ``A x = b`` with (preconditioned) CG.
 
@@ -115,6 +121,18 @@ def cg_solve(
         Relative drift budget for the replay check: a deviation beyond
         ``abft_tolerance * reference`` triggers a guard rollback (or a
         :class:`ConvergenceError` without a guard).
+    replace_interval / replace_adaptive / replace_tolerance:
+        Residual replacement (:mod:`repro.numerics.replacement`): every
+        ``replace_interval`` iterations recompute the true residual
+        ``b - A x`` and, when the recurrence has drifted beyond the
+        rounding-error bound, splice it in and restart the search
+        direction.  ``replace_adaptive`` shrinks the cadence using live
+        Lanczos condition estimates; ``replace_tolerance`` overrides the
+        derived drift bound.  The check's halo exchange and reduction run
+        under the replacement event scope, so first-attempt
+        ``COMM_CONTRACT`` counts are unchanged.  0 disables.
+    stagnation_window:
+        Breakdown-guard stagnation window (0 disables).
 
     Returns
     -------
@@ -126,8 +144,16 @@ def cg_solve(
     check_positive("max_iters", max_iters)
     check_positive("abft_interval", abft_interval, allow_zero=True)
     check_positive("abft_tolerance", abft_tolerance)
+    check_positive("replace_interval", replace_interval, allow_zero=True)
     check_finite_field("b", b)
     check_finite_field("x0", x0)
+    breakdown = BreakdownGuard(solver_name,
+                               stagnation_window=stagnation_window)
+    replacer = None
+    if replace_interval:
+        replacer = ResidualReplacer(replace_interval, dtype=str(op.dtype),
+                                    adaptive=replace_adaptive,
+                                    tolerance=replace_tolerance)
     M = preconditioner if preconditioner is not None else IdentityPreconditioner(op)
     identity = isinstance(M, IdentityPreconditioner)
     from repro.observe.trace import tracer_of
@@ -186,11 +212,12 @@ def cg_solve(
                     snap = guard.rollback(f"<p, Ap> = {pw:.3e}")
                     iterations, rz, rr, precond_applies, res_norm = _rewind(
                         snap, alphas, betas, history)
+                    breakdown.reset()
                 continue
-            if pw <= 0.0:
-                raise ConvergenceError(
-                    f"CG breakdown: <p, Ap> = {pw:.3e} <= 0 "
-                    "(operator not SPD?)")
+            # Curvature guard: finite *and* positive (an unguarded
+            # ``pw <= 0`` test is False for NaN, which used to let a
+            # poisoned reduction silently NaN the whole recurrence).
+            breakdown.curvature(pw, iterations)
             alpha = rz / pw
             x.interior += alpha * p.interior
             r.interior -= alpha * w.interior
@@ -213,12 +240,9 @@ def cg_solve(
                     snap = guard.rollback(f"residual norm {res_norm:.3e}")
                     iterations, rz, rr, precond_applies, res_norm = _rewind(
                         snap, alphas, betas, history)
+                    breakdown.reset()
                 continue
-            if not np.isfinite(res_norm):
-                raise ConvergenceError(
-                    f"CG diverged at iteration {iterations}: residual is "
-                    "non-finite (indefinite preconditioner or bad eigenvalue "
-                    "bounds?)")
+            breakdown.residual(res_norm, iterations)
             if abft_interval and iterations % abft_interval == 0:
                 # ABFT residual replay: recompute the *true* residual and
                 # check the recurrence hasn't silently drifted away from it
@@ -244,9 +268,55 @@ def cg_solve(
                         continue
                     raise ConvergenceError(
                         f"silent corruption detected — {reason}")
+            if replacer is not None and (replacer.due(iterations)
+                                         or res_norm <= threshold):
+                # Residual replacement (van der Vorst-Ye): recompute the
+                # true residual; when the recurrence has drifted past the
+                # rounding-error bound, splice it in and restart the
+                # search direction (beta = 0).  Also forced whenever the
+                # recurrence claims convergence, so the tolerance test
+                # below is always taken against a freshly verified
+                # residual (false convergence is the signature failure of
+                # a drifted recurrence).  Decisions come from
+                # globally-reduced scalars, so every rank takes the same
+                # branch; the extra exchange and reductions run under the
+                # replacement scope to keep first-attempt contract counts
+                # exact.
+                replacer.update_condition(alphas, betas)
+                with tracer.span("replace", solver_name), \
+                        replacement_scope(op.events,
+                                          getattr(op.comm, "events", None)):
+                    op.residual(b, x, out=w)
+                    (true_rr,) = op.dots([(w, w)])
+                    true_norm = float(np.sqrt(true_rr))
+                    if replacer.observe(abs(true_norm - res_norm),
+                                        max(true_norm, res_norm),
+                                        iterations):
+                        r.interior[...] = w.interior
+                        if identity:
+                            rz_new = rr = true_rr
+                        else:
+                            M.apply(r, z)
+                            precond_applies += 1
+                            rz_new, rr = op.dots([(r, z), (r, r)])
+                        beta = 0.0
+                        res_norm = float(np.sqrt(rr))
+                        history[-1] = res_norm
+                        breakdown.reset()
             if res_norm <= threshold:
                 converged = True
                 break
+            if guard is not None and not np.isfinite(beta):
+                # A corrupted (rz, rr) reduction poisons beta before it
+                # poisons the residual norm: roll back now rather than let
+                # NaNs propagate into p and surface one matvec later.
+                with tracer.span("recover", solver_name):
+                    snap = guard.rollback(f"beta = {beta!r}")
+                    iterations, rz, rr, precond_applies, res_norm = _rewind(
+                        snap, alphas, betas, history)
+                    breakdown.reset()
+                continue
+            breakdown.coefficient("beta", beta, iterations)
             p.interior[...] = z.interior + beta * p.interior
             rz = rz_new
 
@@ -267,4 +337,6 @@ def cg_solve(
     # CG recurrence coefficients for Lanczos eigenvalue estimation.
     result.alphas = alphas
     result.betas = betas
+    # Residual-replacement accounting for harnesses/stability sweeps.
+    result.replacement = replacer.stats if replacer is not None else None
     return result

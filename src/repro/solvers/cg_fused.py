@@ -28,7 +28,7 @@ from repro.solvers.preconditioners import (
     Preconditioner,
 )
 from repro.solvers.result import SolveResult
-from repro.utils.errors import ConvergenceError
+from repro.numerics.breakdown import BreakdownError
 from repro.utils.validation import check_finite_field, check_positive
 
 #: Machine-checked communication budget (see ``repro.analysis``): the
@@ -83,9 +83,10 @@ def cg_fused_solve(
                            initial_residual_norm=r0_norm, history=history,
                            events=op.events)
 
-    if delta <= 0:
-        raise ConvergenceError(
-            f"fused CG breakdown at setup: <Au, u> = {delta:.3e} <= 0")
+    if not (np.isfinite(delta) and delta > 0):
+        raise BreakdownError(
+            f"fused CG breakdown at setup: <Au, u> = {delta:.3e} <= 0",
+            solver="cg_fused", iteration=0, quantity="pAp", value=delta)
     alpha = gamma / delta
     beta = 0.0
     p = u.copy()
@@ -112,10 +113,12 @@ def cg_fused_solve(
         beta = gamma_new / gamma
         betas.append(float(beta))
         denom = delta - beta * gamma_new / alpha
-        if denom <= 0:
-            raise ConvergenceError(
+        if not (np.isfinite(denom) and denom > 0):
+            raise BreakdownError(
                 f"fused CG breakdown: alpha denominator {denom:.3e} <= 0 "
-                "(non-SPD operator or accumulated round-off)")
+                "(non-SPD operator or accumulated round-off)",
+                solver="cg_fused", iteration=iterations,
+                quantity="alpha_denominator", value=denom)
         alpha = gamma_new / denom
         gamma = gamma_new
         p.interior[...] = u.interior + beta * p.interior

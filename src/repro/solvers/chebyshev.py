@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.mesh.field import Field
+from repro.numerics.breakdown import BreakdownGuard
 from repro.solvers.cg import cg_solve
 from repro.solvers.eigen import EigenBounds, estimate_eigenvalues
 from repro.solvers.operator import StencilOperator2D
@@ -47,7 +48,6 @@ from repro.solvers.result import SolveResult
 from repro.utils.errors import (
     CommunicationError,
     ConfigurationError,
-    ConvergenceError,
     stall_error,
 )
 from repro.utils.validation import check_finite_field, check_positive
@@ -263,6 +263,7 @@ def chebyshev_solve(
     raise_on_stall: bool = False,
     guard: "SolverGuard | None" = None,
     degrade: bool = False,
+    stagnation_window: int = 0,
 ) -> SolveResult:
     """Standalone Chebyshev solver (TeaLeaf ``tl_use_chebyshev``).
 
@@ -278,11 +279,15 @@ def chebyshev_solve(
     :class:`~repro.resilience.guard.SolverGuard`).  ``degrade`` lets a
     matrix-powers run (``halo_depth > 1``) whose deep exchanges keep
     failing restart the recurrence at depth 1 instead of aborting; the
-    result then carries ``degraded = True``.
+    result then carries ``degraded = True``.  ``stagnation_window``
+    (counted in residual *checks*, i.e. ``check_interval`` steps each)
+    enables the shared breakdown guard's stagnation detection.
     """
     check_positive("check_interval", check_interval)
     check_finite_field("b", b)
     check_finite_field("x0", x0)
+    breakdown = BreakdownGuard("chebyshev",
+                               stagnation_window=stagnation_window)
     from repro.observe.trace import tracer_of
     tracer = tracer_of(op)
     local_M = make_local_preconditioner(op, preconditioner)
@@ -355,12 +360,12 @@ def chebyshev_solve(
                 it._since_exchange = snap.scalars["since"]
                 del history[snap.scalars["hist"]:]
                 res_norm = history[-1]
+                breakdown.reset()
             continue
-        if not np.isfinite(res_norm):
-            raise ConvergenceError(
-                f"Chebyshev diverged after {it.steps_done} steps: residual "
-                "is non-finite — the eigenvalue bounds exclude part of the "
-                "spectrum (lam_max underestimated?)")
+        # Shared breakdown guard: a non-finite residual means the
+        # eigenvalue bounds exclude part of the spectrum (lam_max
+        # underestimated?) and the recurrence diverged.
+        breakdown.residual(res_norm, steps_offset + it.steps_done)
         if res_norm <= threshold:
             converged = True
             break

@@ -14,7 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils.errors import ConfigurationError, ConvergenceError
+from repro.numerics.breakdown import BreakdownError
+from repro.utils.errors import ConfigurationError
 from repro.utils.validation import check_positive
 
 
@@ -127,8 +128,10 @@ def cg_solve_3d(op: StencilOperator3D, b: np.ndarray,
     while rr > threshold and iterations < max_iters:
         op.apply(p, out=w)
         pw = float(np.vdot(p, w).real)
-        if pw <= 0:
-            raise ConvergenceError(f"3D CG breakdown: <p,Ap>={pw:.3e}")
+        if not (np.isfinite(pw) and pw > 0):
+            raise BreakdownError(f"3D CG breakdown: <p,Ap>={pw:.3e}",
+                                 solver="cg3d", iteration=iterations,
+                                 quantity="pAp", value=pw)
         alpha = rr / pw
         x += alpha * p
         r -= alpha * w

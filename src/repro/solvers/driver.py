@@ -37,26 +37,52 @@ def solve_linear(
         raise ConfigurationError(
             f"{opt.label()} needs field halo >= {opt.required_field_halo}, "
             f"operator has {op.halo}")
+    if opt.refine and opt.dtype != "float64":
+        # Mixed-precision iterative refinement wraps whole inner solves
+        # (which come back through this entry point with refine=False).
+        from repro.numerics.refine import refined_solve
+        return refined_solve(op, b, x0, opt, guard=guard)
     if guard is None and opt.guard_interval > 0:
         from repro.resilience.guard import SolverGuard
         guard = SolverGuard(checkpoint_interval=opt.guard_interval,
                             divergence_ratio=opt.guard_divergence_ratio,
                             max_rollbacks=opt.guard_max_rollbacks)
 
+    solve_op, bb, xx = op, b, x0
+    if opt.dtype != str(op.dtype):
+        # Demote the operator/fields to the working precision; the caller
+        # keeps its own precision — the solution is promoted back below.
+        from repro.numerics.precision import cast_field, cast_operator
+        solve_op = cast_operator(op, opt.dtype)
+        bb = cast_field(b, opt.dtype)
+        xx = cast_field(x0, opt.dtype) if x0 is not None else None
+
     from repro.observe.trace import tracer_of
-    with tracer_of(op).span("solve", opt.solver):
-        return _dispatch(op, b, x0, opt, guard)
+    with tracer_of(solve_op).span("solve", opt.solver):
+        result = _dispatch(solve_op, bb, xx, opt, guard)
+    if result.x.data.dtype != b.data.dtype:
+        result.x = Field(result.x.tile, result.x.halo,
+                         result.x.data.astype(b.data.dtype))
+    if opt.true_residual and result.true_residual_norm is None:
+        from repro.numerics.replacement import attach_true_residual
+        attach_true_residual(result, op, b)
+    return result
 
 
 def _dispatch(op, b, x0, opt, guard) -> SolveResult:
     if opt.solver == "jacobi":
-        return jacobi_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters)
+        return jacobi_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters,
+                            stagnation_window=opt.stagnation_window)
     if opt.solver == "cg":
         M = make_local_preconditioner(op, opt.preconditioner)
         return cg_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters,
                         preconditioner=M, raise_on_stall=opt.raise_on_stall,
                         guard=guard, abft_interval=opt.abft_interval,
-                        abft_tolerance=opt.abft_tolerance)
+                        abft_tolerance=opt.abft_tolerance,
+                        replace_interval=opt.replace_interval,
+                        replace_adaptive=opt.replace_adaptive,
+                        replace_tolerance=opt.replace_tolerance,
+                        stagnation_window=opt.stagnation_window)
     if opt.solver == "cg_fused":
         from repro.solvers.cg_fused import cg_fused_solve
         M = make_local_preconditioner(op, opt.preconditioner)
@@ -79,6 +105,7 @@ def _dispatch(op, b, x0, opt, guard) -> SolveResult:
             raise_on_stall=opt.raise_on_stall,
             guard=guard,
             degrade=opt.degrade,
+            stagnation_window=opt.stagnation_window,
         )
     if opt.solver == "ppcg":
         return ppcg_solve(
@@ -94,6 +121,10 @@ def _dispatch(op, b, x0, opt, guard) -> SolveResult:
             degrade=opt.degrade,
             abft_interval=opt.abft_interval,
             abft_tolerance=opt.abft_tolerance,
+            replace_interval=opt.replace_interval,
+            replace_adaptive=opt.replace_adaptive,
+            replace_tolerance=opt.replace_tolerance,
+            stagnation_window=opt.stagnation_window,
         )
     if opt.solver == "mgcg":
         # Imported lazily: multigrid builds on this package.  Serial runs

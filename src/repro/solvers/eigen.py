@@ -106,6 +106,29 @@ def estimate_eigenvalues(
     return EigenBounds(lam_min=lam_min, lam_max=lam_max)
 
 
+def condition_estimate(alphas, betas, default: float = 1.0) -> float:
+    """Condition-number estimate ``lam_max/lam_min`` from CG coefficients.
+
+    Safety-free Ritz estimate (``safety=(1, 1)``): the Lanczos view of the
+    spectrum as CG itself saw it, used by :mod:`repro.numerics` to size
+    residual-replacement intervals and judge float32 feasibility.  Returns
+    ``default`` when the coefficients are absent, non-SPD-looking or
+    numerically unusable — condition-aware safeguards degrade to their
+    fixed-cadence behaviour rather than fail.
+    """
+    alphas = np.asarray(alphas, dtype=np.float64)
+    if alphas.size == 0 or not np.all(np.isfinite(alphas)):
+        return default
+    try:
+        bounds = estimate_eigenvalues(alphas, betas, safety=(1.0, 1.0))
+    except (ConfigurationError, np.linalg.LinAlgError):
+        return default
+    kappa = bounds.condition_number
+    if not np.isfinite(kappa) or kappa < 1.0:
+        return default
+    return float(kappa)
+
+
 def _cheb_T(m: int, x: float) -> float:
     """Chebyshev polynomial of the first kind at ``|x| >= 1`` (stable form)."""
     ax = abs(x)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.mesh.field import Field
+from repro.numerics.breakdown import BreakdownGuard
 from repro.solvers.operator import StencilOperator2D
 from repro.solvers.result import SolveResult
 from repro.utils.validation import check_finite_field, check_positive
@@ -34,17 +35,24 @@ def jacobi_solve(
     *,
     eps: float = 1e-10,
     max_iters: int = 100_000,
+    stagnation_window: int = 0,
 ) -> SolveResult:
     """Solve ``A x = b`` by Jacobi iteration.
 
     Converges for the diffusion operator (strictly diagonally dominant),
     but slowly — it exists as the paper's simplest baseline and as the
-    smoother building block for multigrid.
+    smoother building block for multigrid.  The shared breakdown guard
+    (:mod:`repro.numerics.breakdown`) turns a non-finite residual into a
+    loud :class:`~repro.numerics.breakdown.BreakdownError` (previously the
+    loop would spin its whole budget on NaNs); ``stagnation_window``
+    additionally bounds how long the residual may fail to improve.
     """
     check_positive("eps", eps)
     check_positive("max_iters", max_iters)
     check_finite_field("b", b)
     check_finite_field("x0", x0)
+    breakdown = BreakdownGuard("jacobi",
+                               stagnation_window=stagnation_window)
     x = x0.copy() if x0 is not None else op.new_field()
     r = op.new_field()
     inv_diag = 1.0 / op.diagonal()
@@ -68,6 +76,7 @@ def jacobi_solve(
             iterations += 1
             res_norm = float(np.sqrt(rr))
             history.append(res_norm)
+            breakdown.residual(res_norm, iterations)
             converged = res_norm <= threshold
 
     return SolveResult(

@@ -113,16 +113,18 @@ class StencilOperator2D:
         comm: Communicator,
         events: EventLog | None = None,
         tracer=None,
+        dtype: np.dtype = np.float64,
     ) -> "StencilOperator2D":
         """Build the rank-local operator from global face arrays.
 
         ``kx_global`` has shape ``(ny, nx+1)`` and ``ky_global`` has shape
         ``(ny+1, nx)`` (see :func:`repro.physics.conduction.face_coefficients`).
         Faces outside the global domain are zero, so no halo exchange of the
-        coefficients is needed.
+        coefficients is needed.  ``dtype`` sets the working precision of the
+        coefficient fields (and hence of :meth:`new_field` workspaces).
         """
-        kx = Field(tile, halo)
-        ky = Field(tile, halo)
+        kx = Field(tile, halo, dtype=dtype)
+        ky = Field(tile, halo, dtype=dtype)
         embed_global(kx.data, kx_global, tile.y0 - halo, tile.x0 - halo)
         embed_global(ky.data, ky_global, tile.y0 - halo, tile.x0 - halo)
         return cls(kx=kx, ky=ky, comm=comm,
@@ -139,8 +141,13 @@ class StencilOperator2D:
     def halo(self) -> int:
         return self.kx.halo
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Working precision of the operator's coefficient fields."""
+        return self.kx.data.dtype
+
     def new_field(self) -> Field:
-        return Field(self.tile, self.halo)
+        return Field(self.tile, self.halo, dtype=self.dtype)
 
     # -- the stencil ---------------------------------------------------------------
 

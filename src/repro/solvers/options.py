@@ -12,6 +12,7 @@ from repro.utils.validation import check_in, check_positive, require
 
 SOLVERS = ("jacobi", "cg", "cg_fused", "dcg", "chebyshev", "ppcg", "mgcg")
 PRECONDITIONERS = ("none", "diagonal", "block_jacobi")
+WORKING_DTYPES = ("float32", "float64")
 
 
 @dataclass(frozen=True)
@@ -101,6 +102,39 @@ class SolverOptions:
     #: Relative drift tolerated by the ABFT replay before it triggers a
     #: rollback.
     abft_tolerance: float = 1e-6
+    #: Working precision of the solve (:mod:`repro.numerics`): fields,
+    #: operator coefficients and inner recurrence arithmetic run at this
+    #: dtype; global reductions stay float64 regardless.
+    dtype: str = "float64"
+    #: Mixed-precision iterative refinement: run the inner solver at
+    #: ``dtype`` and recover full accuracy through float64 defect
+    #: re-solves, escalating precision (with a structured
+    #: :class:`~repro.numerics.refine.PrecisionDiagnosis`) when the
+    #: refinement stagnates.  No effect when ``dtype == "float64"``.
+    refine: bool = False
+    #: Outer refinement-step budget.
+    refine_max_steps: int = 8
+    #: A refinement step stagnates when the defect norm fails to contract
+    #: below this fraction of the previous step's norm.
+    refine_stagnation: float = 0.5
+    #: Residual replacement (cg/ppcg): every this many outer iterations
+    #: recompute the true residual ``b - A x`` and splice it into the
+    #: recurrence when the drift exceeds the rounding-error bound.
+    #: 0 disables replacement.
+    replace_interval: int = 0
+    #: Condition-aware cadence: shrink the replacement interval toward
+    #: ``1/sqrt(u * kappa)`` using live Lanczos condition estimates.
+    replace_adaptive: bool = False
+    #: Explicit relative drift bound for splicing; 0 derives the bound
+    #: from the running rounding-error estimate.
+    replace_tolerance: float = 0.0
+    #: Breakdown stagnation window (:class:`~repro.numerics.breakdown.
+    #: BreakdownGuard`): raise when the residual norm fails to improve
+    #: across this many iterations.  0 disables the window.
+    stagnation_window: int = 0
+    #: Compute the true residual ``b - A x`` once after the solve (under
+    #: the replacement event scope) and attach it to the result.
+    true_residual: bool = False
 
     def __post_init__(self):
         check_in("solver", self.solver, SOLVERS)
@@ -149,6 +183,23 @@ class SolverOptions:
             not (self.recovery and not self.checkpoint_dir),
             "recovery enabled without a checkpoint_dir: the respawned "
             "rank rebuilds its subdomain from the on-disk shards",
+        )
+        check_in("dtype", self.dtype, WORKING_DTYPES)
+        check_positive("refine_max_steps", self.refine_max_steps)
+        require(0.0 < self.refine_stagnation < 1.0,
+                f"refine_stagnation must be in (0, 1), "
+                f"got {self.refine_stagnation}")
+        check_positive("replace_interval", self.replace_interval,
+                       allow_zero=True)
+        check_positive("replace_tolerance", self.replace_tolerance,
+                       allow_zero=True)
+        check_positive("stagnation_window", self.stagnation_window,
+                       allow_zero=True)
+        require(
+            not (self.replace_interval > 0
+                 and self.solver not in ("cg", "ppcg")),
+            "residual replacement is a CG-recurrence repair: "
+            "replace_interval > 0 requires solver cg or ppcg",
         )
 
     @property

@@ -86,6 +86,10 @@ def ppcg_solve(
     degrade: bool = False,
     abft_interval: int = 0,
     abft_tolerance: float = 1e-6,
+    replace_interval: int = 0,
+    replace_adaptive: bool = False,
+    replace_tolerance: float = 0.0,
+    stagnation_window: int = 0,
 ) -> SolveResult:
     """Solve ``A x = b`` with CPPCG.
 
@@ -127,6 +131,16 @@ def ppcg_solve(
         particularly valuable here, where the fused inner/outer structure
         lets undetected corruption propagate across ``inner_steps``
         stencil applications before any residual check sees it.
+    replace_interval / replace_adaptive / replace_tolerance:
+        Residual replacement for the Chebyshev-preconditioned outer phase
+        (and the plain-CG fallback), see :func:`~repro.solvers.cg.cg_solve`.
+        Deep matrix-powers inner steps are exactly where the recurrence
+        residual drifts from the true residual, so this is the knob that
+        lets depth-16 CPPCG converge to the same *true*-residual tolerance
+        as depth-1.
+    stagnation_window:
+        Breakdown-guard stagnation window threaded to every CG phase
+        (0 disables).
     degrade:
         Graceful degradation: fall back to *plain CG* when the Chebyshev
         preconditioner is unusable (invalid/non-finite spectrum bounds,
@@ -206,6 +220,10 @@ def ppcg_solve(
                     guard=guard,
                     abft_interval=abft_interval,
                     abft_tolerance=abft_tolerance,
+                    replace_interval=replace_interval,
+                    replace_adaptive=replace_adaptive,
+                    replace_tolerance=replace_tolerance,
+                    stagnation_window=stagnation_window,
                 )
         except CommunicationError:
             if degrade and depth > 1:
@@ -274,7 +292,11 @@ def ppcg_solve(
                              max_iters=max(budget, 1),
                              reference_norm=reference, solver_name="ppcg",
                              guard=guard, abft_interval=abft_interval,
-                             abft_tolerance=abft_tolerance)
+                             abft_tolerance=abft_tolerance,
+                             replace_interval=replace_interval,
+                             replace_adaptive=replace_adaptive,
+                             replace_tolerance=replace_tolerance,
+                             stagnation_window=stagnation_window)
         history_prefix += outer.history[1:]
         current_x = outer.x
 

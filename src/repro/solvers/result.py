@@ -49,6 +49,13 @@ class SolveResult:
     history: list = field(default_factory=list)
     eigen_bounds: tuple | None = None
     events: EventLog | None = None
+    #: Global 2-norm of the *true* residual ``b - A x`` (recomputed after
+    #: the solve, under the replacement event scope) — None unless the
+    #: solve requested it (``SolverOptions.true_residual``) or came
+    #: through iterative refinement, whose defect norm is the true
+    #: residual by construction.  ``residual_norm`` above is the
+    #: *recurrence* residual, which can drift in finite precision.
+    true_residual_norm: float | None = None
 
     @property
     def relative_residual(self) -> float:
@@ -57,12 +64,24 @@ class SolveResult:
         return self.residual_norm / self.initial_residual_norm
 
     @property
+    def true_relative_residual(self) -> float | None:
+        """True residual relative to the initial norm (None when unmeasured)."""
+        if self.true_residual_norm is None:
+            return None
+        if self.initial_residual_norm == 0.0:
+            return 0.0
+        return self.true_residual_norm / self.initial_residual_norm
+
+    @property
     def total_iterations(self) -> int:
         """Outer + inner + warm-up iterations (~ matvec count)."""
         return self.iterations + self.inner_iterations + self.warmup_iterations
 
     def summary(self) -> str:
-        return (f"{self.solver}: {'converged' if self.converged else 'NOT converged'} "
+        text = (f"{self.solver}: {'converged' if self.converged else 'NOT converged'} "
                 f"in {self.iterations} outer + {self.inner_iterations} inner "
                 f"(+{self.warmup_iterations} warm-up) iterations, "
                 f"relative residual {self.relative_residual:.3e}")
+        if self.true_residual_norm is not None:
+            text += f" (true {self.true_relative_residual:.3e})"
+        return text

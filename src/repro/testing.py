@@ -24,6 +24,7 @@ from repro.mesh import Field, Grid2D, decompose
 from repro.physics import (
     cell_conductivity,
     crooked_pipe,
+    crooked_pipe_jump,
     face_coefficients,
     global_initial_state,
 )
@@ -31,6 +32,7 @@ from repro.solvers import SolverOptions, StencilOperator2D, solve_linear
 
 __all__ = [
     "crooked_pipe_system",
+    "crooked_pipe_jump_system",
     "random_spd_faces",
     "serial_operator",
     "reference_solution",
@@ -45,6 +47,20 @@ def crooked_pipe_system(n: int, dt: float = 0.04):
     """
     grid = Grid2D(n, n)
     density, _, u0 = global_initial_state(grid, crooked_pipe())
+    kappa = cell_conductivity(density)
+    rx = dt / grid.dx ** 2
+    ry = dt / grid.dy ** 2
+    kxg, kyg = face_coefficients(kappa, rx, ry)
+    return grid, kxg, kyg, u0
+
+
+def crooked_pipe_jump_system(n: int, jump: float, dt: float = 0.04):
+    """Like :func:`crooked_pipe_system` for one ill-conditioned battery
+    problem (:func:`~repro.physics.crooked_pipe_jump`): the conductivity
+    contrast — and the operator's condition number — scales with ``jump``.
+    """
+    grid = Grid2D(n, n)
+    density, _, u0 = global_initial_state(grid, crooked_pipe_jump(jump))
     kappa = cell_conductivity(density)
     rx = dt / grid.dx ** 2
     ry = dt / grid.dy ** 2

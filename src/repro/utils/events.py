@@ -23,6 +23,15 @@ from typing import Any, Iterable, Mapping
 #: lands in ``(RECOVERY_KIND, kind)`` instead of ``(kind, key)``.
 RECOVERY_KIND = "comm_recovery"
 
+#: Kind under which numerical-robustness traffic is re-bucketed: residual
+#: replacement checks/splices and iterative-refinement defect computations
+#: (:mod:`repro.numerics`) recompute ``b - A x`` and re-reduce norms on top
+#: of the solver's per-iteration budget.  Like recovery traffic, it is real
+#: communication that must not pollute the first-attempt ``COMM_CONTRACT``
+#: counts — it gets its own event kind so profiles and the stability sweep
+#: can still account for it separately.
+REPLACEMENT_KIND = "comm_replacement"
+
 
 @dataclass
 class EventLog:
@@ -37,11 +46,20 @@ class EventLog:
     counts: Counter = field(default_factory=Counter)
     quantities: dict = field(default_factory=dict)
     _recovery_depth: int = field(default=0, repr=False, compare=False)
+    _replacement_depth: int = field(default=0, repr=False, compare=False)
 
     def record(self, kind: str, key: Any = None, n: int = 1, **amounts: float) -> None:
-        """Record ``n`` occurrences of an event with additive payloads."""
+        """Record ``n`` occurrences of an event with additive payloads.
+
+        Recovery scope takes precedence over replacement scope when both
+        are active (a rollback triggered *by* a replacement check is
+        recovery work).
+        """
         if self._recovery_depth and kind != RECOVERY_KIND:
             kind, key = RECOVERY_KIND, kind
+        elif self._replacement_depth and kind not in (RECOVERY_KIND,
+                                                      REPLACEMENT_KIND):
+            kind, key = REPLACEMENT_KIND, kind
         bucket = (kind, key)
         self.counts[bucket] += n
         if amounts:
@@ -81,6 +99,21 @@ class EventLog:
             yield self
         finally:
             self._recovery_depth -= 1
+
+    def replacement_count(self, kind: str | None = None) -> int:
+        """Events rerouted into the replacement bucket (optionally one kind)."""
+        if kind is None:
+            return self.count_kind(REPLACEMENT_KIND)
+        return self.count(REPLACEMENT_KIND, kind)
+
+    @contextmanager
+    def replacement_scope(self):
+        """Reroute records into ``REPLACEMENT_KIND`` for the ``with`` body."""
+        self._replacement_depth += 1
+        try:
+            yield self
+        finally:
+            self._replacement_depth -= 1
 
     def keys_for(self, kind: str) -> list:
         """All refinement keys observed for ``kind``."""
@@ -141,3 +174,28 @@ def recovery_scope(*logs: "EventLog | None"):
     finally:
         for log in unique:
             log._recovery_depth -= 1
+
+
+@contextmanager
+def replacement_scope(*logs: "EventLog | None"):
+    """Enter the replacement scope of several logs at once.
+
+    The :mod:`repro.numerics` analogue of :func:`recovery_scope`: while
+    active, events land under :data:`REPLACEMENT_KIND` so residual
+    replacement / iterative refinement traffic stays out of the
+    first-attempt ``COMM_CONTRACT`` counts.  ``None`` entries and
+    duplicates are tolerated exactly as for :func:`recovery_scope`.
+    """
+    unique: list[EventLog] = []
+    seen: set[int] = set()
+    for log in logs:
+        if log is not None and id(log) not in seen:
+            seen.add(id(log))
+            unique.append(log)
+    for log in unique:
+        log._replacement_depth += 1
+    try:
+        yield
+    finally:
+        for log in unique:
+            log._replacement_depth -= 1

@@ -6,6 +6,7 @@ test-suite's imports.
 """
 
 from repro.testing import (  # noqa: F401
+    crooked_pipe_jump_system,
     crooked_pipe_system,
     distributed_solve,
     random_spd_faces,
@@ -14,6 +15,7 @@ from repro.testing import (  # noqa: F401
 )
 
 __all__ = [
+    "crooked_pipe_jump_system",
     "crooked_pipe_system",
     "distributed_solve",
     "random_spd_faces",
