@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench report figures examples trace lint verify-contracts resilience restart-demo stability clean
+.PHONY: install test test-fast bench report figures examples trace lint verify-contracts resilience restart-demo stability sanitize clean
 
 install:
 	pip install -e .
@@ -92,6 +92,15 @@ restart-demo:
 	resumed = np.load('results/restart-demo/resumed.npy'); \
 	assert np.array_equal(full, resumed), 'restart drifted from the uninterrupted run'; \
 	print('restart is bit-identical to the uninterrupted run')"
+
+# SPMD sanitizer (docs/analysis.md, "SPMD sanitizer"): the static rules
+# RPR009-RPR011 over the library *and* the test-suite's rank programs,
+# then re-prove every COMM_CONTRACT with the runtime sanitizer stacked
+# outermost over the full resilience + integrity stack.
+sanitize:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src/repro tests \
+	    --select RPR009,RPR010,RPR011
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis --verify-only --verify-sanitize
 
 # Numerical stability: sweep the ill-conditioned crooked-pipe battery
 # across solver x working-dtype x matrix-powers depth, unprotected vs

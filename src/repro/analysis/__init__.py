@@ -14,10 +14,15 @@ budgets machine-checked invariants instead of docstring prose:
 - supporting hygiene rules catch allocations inside hot loops, precision
   drift, mutable default arguments and bare ``except:`` clauses
   (``RPR004``-``RPR007``);
+- SPMD correctness rules (:mod:`repro.analysis.spmd`) catch
+  rank-divergent collectives (``RPR009``), halo tag/peer mismatches
+  (``RPR010``) and non-blocking buffer aliasing (``RPR011``) statically;
 - a ``--verify`` mode runs a small crooked-pipe solve per solver under
   :class:`~repro.comm.instrument.InstrumentedComm` and cross-checks the
   *measured* per-iteration reduction/halo counts against each contract, so
-  the contracts can never drift from reality.
+  the contracts can never drift from reality; ``--verify-sanitize``
+  re-proves every contract with the runtime SPMD sanitizer
+  (:class:`~repro.comm.sanitize.SanitizerComm`) stacked outermost.
 
 Run it with ``python -m repro.analysis [paths]`` (or ``make lint``); see
 ``docs/analysis.md`` for the rule catalogue and the contract schema.

@@ -32,12 +32,33 @@ def load_baseline(path: str | Path) -> set[str]:
 
 
 def write_baseline(path: str | Path, findings: Iterable[Finding]) -> int:
-    """Write the fingerprints of ``findings``; returns how many."""
+    """Write the fingerprints of ``findings``; returns how many.
+
+    Output is fully deterministic — sorted fingerprints, sorted keys, fixed
+    indentation — so rewriting an unchanged tree is byte-identical and the
+    checked-in file never churns spuriously.
+    """
     prints = sorted(fingerprints(list(findings)).values())
     payload = {
         "version": FORMAT_VERSION,
         "tool": "repro.analysis",
         "findings": prints,
     }
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return len(prints)
+
+
+def update_baseline(path: str | Path,
+                    findings: Iterable[Finding]) -> tuple[int, int, int]:
+    """Rewrite the baseline from current findings; return the delta.
+
+    Returns ``(added, removed, kept)`` relative to the previous contents,
+    so ``--update-baseline`` can report exactly what debt was incurred or
+    retired.  The write itself goes through :func:`write_baseline` and is
+    deterministic.
+    """
+    old = load_baseline(path)
+    new = set(fingerprints(list(findings)).values())
+    write_baseline(path, findings)
+    return (len(new - old), len(old - new), len(new & old))

@@ -10,7 +10,11 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.analysis.baseline import load_baseline, write_baseline
+from repro.analysis.baseline import (
+    load_baseline,
+    update_baseline,
+    write_baseline,
+)
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.core import all_rules, analyze_paths
 from repro.analysis.report import (
@@ -41,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", action="store_true",
                         help="write current findings to the baseline file "
                              "and exit 0")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline deterministically from "
+                             "current findings, print the added/removed/"
+                             "kept delta and exit 0")
     parser.add_argument("--select", default="",
                         help="comma-separated rule codes to run exclusively")
     parser.add_argument("--disable", default="",
@@ -64,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="route the verify solves through the "
                              "checksummed-envelope stack with a durably "
                              "checkpointing guard; implies --verify")
+    parser.add_argument("--verify-sanitize", action="store_true",
+                        help="stack the runtime SPMD sanitizer outermost "
+                             "over the full resilience + integrity stack "
+                             "for the verify solves (re-proves every "
+                             "COMM_CONTRACT with the sanitizer engaged); "
+                             "implies --verify, --verify-resilience and "
+                             "--verify-integrity")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
@@ -111,13 +126,14 @@ def main(argv: list[str] | None = None) -> int:
 
     verify_reports = None
     if args.verify or args.verify_only or args.verify_resilience \
-            or args.verify_integrity:
+            or args.verify_integrity or args.verify_sanitize:
         from repro.analysis.verify import verify_contracts
         try:
             verify_reports = verify_contracts(
                 n=args.verify_size, names=args.verify_solver or None,
                 resilience=args.verify_resilience,
-                integrity=args.verify_integrity)
+                integrity=args.verify_integrity,
+                sanitize=args.verify_sanitize)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -131,7 +147,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if all(r.ok for r in verify_reports) else 1
 
     baseline = None
-    if not args.no_baseline and not args.write_baseline:
+    if not args.no_baseline and not args.write_baseline \
+            and not args.update_baseline:
         try:
             baseline = load_baseline(baseline_path)
         except ValueError as exc:
@@ -139,6 +156,13 @@ def main(argv: list[str] | None = None) -> int:
             return 2
 
     result = analyze_paths(paths, config, baseline=baseline)
+
+    if args.update_baseline:
+        added, removed, kept = update_baseline(
+            baseline_path, result.findings)
+        print(f"baseline {baseline_path}: +{added} added, "
+              f"-{removed} removed, {kept} kept")
+        return 0
 
     if args.write_baseline:
         n = write_baseline(baseline_path, result.findings)

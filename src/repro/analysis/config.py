@@ -27,6 +27,16 @@ DEFAULT_SOLVER_GLOBS = ("*/solvers/*.py",)
 #: accidental precision drift).
 DEFAULT_MIXED_PRECISION_GLOBS = ("*/numerics/*.py",)
 
+#: Path globs exempt from the SPMD rules (RPR009-RPR011): the comm
+#: substrate itself implements the primitives those rules reason about
+#: (rank-switched mailbox plumbing *is* its job, not a divergence bug).
+DEFAULT_SPMD_EXEMPT_GLOBS = ("*/comm/*.py",)
+
+#: Path globs excluded from analysis entirely.  Mutation fixtures are
+#: deliberately-buggy rank programs checked in as rule test vectors; the
+#: production gate must not trip over them.
+DEFAULT_EXCLUDE_GLOBS = ("*/fixtures/*",)
+
 
 @dataclass
 class AnalysisConfig:
@@ -36,6 +46,8 @@ class AnalysisConfig:
     baseline: str = "analysis-baseline.json"
     solver_globs: tuple[str, ...] = DEFAULT_SOLVER_GLOBS
     mixed_precision_globs: tuple[str, ...] = DEFAULT_MIXED_PRECISION_GLOBS
+    spmd_exempt_globs: tuple[str, ...] = DEFAULT_SPMD_EXEMPT_GLOBS
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDE_GLOBS
     disable: tuple[str, ...] = ()
     select: tuple[str, ...] = ()
     ignore_receivers: frozenset[str] = DEFAULT_IGNORE_RECEIVERS
@@ -57,6 +69,16 @@ class AnalysisConfig:
         return any(fnmatch.fnmatch(posix, g)
                    for g in self.mixed_precision_globs)
 
+    def is_spmd_exempt(self, path: Path) -> bool:
+        """True when ``path`` is exempt from the SPMD rules (RPR009-011)."""
+        posix = path.as_posix()
+        return any(fnmatch.fnmatch(posix, g) for g in self.spmd_exempt_globs)
+
+    def is_excluded(self, path: Path) -> bool:
+        """True when ``path`` must not be analyzed at all."""
+        posix = path.as_posix()
+        return any(fnmatch.fnmatch(posix, g) for g in self.exclude)
+
     @classmethod
     def from_pyproject(cls, root: Path | None = None) -> "AnalysisConfig":
         """Load config from ``<root>/pyproject.toml`` (defaults if absent)."""
@@ -75,6 +97,9 @@ class AnalysisConfig:
             mixed_precision_globs=tuple(
                 table.get("mixed-precision-paths",
                           DEFAULT_MIXED_PRECISION_GLOBS)),
+            spmd_exempt_globs=tuple(
+                table.get("spmd-exempt-paths", DEFAULT_SPMD_EXEMPT_GLOBS)),
+            exclude=tuple(table.get("exclude", DEFAULT_EXCLUDE_GLOBS)),
             disable=tuple(table.get("disable", ())),
             select=tuple(table.get("select", ())),
             ignore_receivers=frozenset(

@@ -118,7 +118,7 @@ def all_rules() -> list[Rule]:
 
 def _load_builtin_rules() -> None:
     # Imported lazily to avoid an import cycle (rule modules import core).
-    from repro.analysis import contracts, rules  # noqa: F401
+    from repro.analysis import contracts, rules, spmd  # noqa: F401
 
 
 def public_solve_functions(tree: ast.Module) -> list[ast.FunctionDef]:
@@ -155,7 +155,8 @@ def _display(path: Path, config: AnalysisConfig) -> str:
         return path.as_posix()
 
 
-def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+def iter_python_files(paths: Iterable[str | Path],
+                      config: AnalysisConfig | None = None) -> list[Path]:
     out: list[Path] = []
     for p in paths:
         p = Path(p)
@@ -163,6 +164,8 @@ def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
             out.extend(sorted(p.rglob("*.py")))
         elif p.suffix == ".py":
             out.append(p)
+    if config is not None:
+        out = [p for p in out if not config.is_excluded(p)]
     return out
 
 
@@ -214,7 +217,7 @@ def analyze_paths(
              and (rule_filter is None or rule_filter(r))]
     result = AnalysisResult()
     collected: list[tuple[Finding, list[str]]] = []
-    for path in iter_python_files(paths):
+    for path in iter_python_files(paths, config):
         ctx = build_context(path, config)
         if isinstance(ctx, Finding):
             collected.append((ctx, []))

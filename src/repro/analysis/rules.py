@@ -33,19 +33,41 @@ ALLOC_METHODS = frozenset({"copy", "new_field"})
 
 
 def _functions(tree: ast.Module):
-    """All (qualname, FunctionDef) pairs in a module, including methods."""
-    for node in tree.body:
-        if isinstance(node, ast.FunctionDef):
-            yield node.name, node
-        elif isinstance(node, ast.ClassDef):
-            for sub in node.body:
-                if isinstance(sub, ast.FunctionDef):
-                    yield f"{node.name}.{sub.name}", sub
+    """All (qualname, def) pairs in a module — methods, nested functions
+    (any depth, even inside loops or conditionals) and ``async def``
+    included, with dotted qualnames."""
+    def visit(node, prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from visit(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            elif not isinstance(child, ast.Lambda):
+                yield from visit(child, prefix)
+    yield from visit(tree, "")
+
+
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+              ast.Lambda)
+
+
+def _walk_scoped(node: ast.AST):
+    """``ast.walk`` that does not descend into nested defs/classes/lambdas
+    — those belong to their own scope and are visited via their own
+    ``_functions`` entry."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _DEF_NODES):
+            stack.extend(ast.iter_child_nodes(child))
 
 
 def _loops_in(fn: ast.FunctionDef):
-    for node in ast.walk(fn):
-        if isinstance(node, (ast.While, ast.For)):
+    for node in _walk_scoped(fn):
+        if isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
             yield node
 
 
@@ -58,13 +80,22 @@ class AllocationInHotLoopRule(Rule):
     solver_only = True
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        # Loops and allocations are both scoped to their directly
+        # containing function (nested defs are visited via their own
+        # _functions entry), so each allocation is attributed to the
+        # innermost qualname; the location dedupe is a safety net.
+        seen: set[tuple[int, int]] = set()
         for qualname, fn in _functions(ctx.tree):
             for loop in _loops_in(fn):
-                for node in ast.walk(loop):
+                for node in _walk_scoped(loop):
                     if not isinstance(node, ast.Call):
                         continue
                     alloc = self._allocation_name(node)
-                    if alloc is not None:
+                    if alloc is None:
+                        continue
+                    key = (node.lineno, node.col_offset)
+                    if key not in seen:
+                        seen.add(key)
                         yield ctx.finding(
                             self.code,
                             f"allocation {alloc}() inside the iteration "

@@ -1,0 +1,818 @@
+"""SPMD correctness rules (RPR009-RPR011).
+
+Static side of the SPMD sanitizer (the dynamic side lives in
+:mod:`repro.comm.sanitize`).  Three rules police the bug classes that hide
+in decomposed solver code until a hang at scale:
+
+- ``RPR009`` — *collective divergence*: a collective call (``allreduce``,
+  ``bcast``, ``gather``, ``allgather``, ``barrier``, ...) guarded by
+  rank-dependent control flow (``if comm.rank == 0: comm.allreduce(...)``),
+  including transitive variants where the guarded call reaches the
+  collective through a module-local helper, rank-dependent loops, and
+  collectives placed after a rank-dependent early return.  Branches whose
+  collective signatures match exactly (``bcast`` in both arms of an
+  ``if rank == root``) are symmetric and therefore clean.
+- ``RPR010`` — *send/recv tag and peer mismatch* across a function and its
+  module-local callees: every canonicalized tag that is sent must also be
+  received (and vice versa); for tile-neighbour peers (``t.left`` /
+  ``t.right`` / ... ) the peer sets must balance and the tag received from
+  a neighbour must equal a tag sent toward the *opposite* neighbour (the
+  halo-exchange direction invariant).  Functions whose p2p calls sit under
+  rank-dependent guards (master/worker choreography) are skipped — the
+  matching side lives in another rank's control flow.
+- ``RPR011`` — *buffer aliasing on in-flight nonblocking ops*: posting a
+  view via ``isend`` and mutating the underlying array before the matching
+  ``wait()``, plus requests that are dropped without ever being waited on
+  or stored.  Requests that escape (appended to a pending list, returned,
+  passed on) are conservatively trusted.
+
+All three rules skip paths matching ``spmd-exempt-paths`` (default
+``*/comm/*.py``): the communication substrate itself is legitimately
+rank-dependent — it *implements* the collectives these rules reason about.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule, register
+from repro.analysis.costmodel import dotted_parts
+from repro.analysis.rules import _functions
+
+#: Attribute names treated as collective operations on a communicator.
+COLLECTIVE_ATTRS = frozenset({
+    "allreduce", "iallreduce", "reduce", "bcast", "gather", "allgather",
+    "barrier", "scan",
+})
+#: Point-to-point send / receive spellings.
+SEND_ATTRS = frozenset({"send", "isend"})
+RECV_ATTRS = frozenset({"recv", "irecv"})
+
+#: Tile-neighbour attribute names with their opposite direction — used by
+#: RPR010's halo direction invariant (a receive from ``left`` must carry a
+#: tag that is sent toward ``right``, etc.).
+NEIGHBOR_OPPOSITE = {
+    "left": "right", "right": "left",
+    "down": "up", "up": "down",
+    "back": "front", "front": "back",
+}
+
+#: Methods that mutate a NumPy array in place (receiver-side RPR011 check).
+MUTATING_METHODS = frozenset({
+    "fill", "sort", "put", "itemset", "resize", "setfield", "partition",
+})
+
+
+def _receiver_parts(call: ast.Call) -> list[str] | None:
+    """Dotted receiver of an attribute call (``None`` for plain names)."""
+    parts = dotted_parts(call.func)
+    if parts is None or len(parts) < 2:
+        return None
+    return parts[:-1]
+
+
+def _is_comm_call(call: ast.Call, attrs: frozenset[str]) -> bool:
+    """True when ``call`` is ``<comm-ish>.<attr>(...)`` for ``attr`` in
+    ``attrs``.  A receiver is comm-ish when any segment of its dotted path
+    contains ``comm`` (``comm``, ``self.comm``, ``op.comm``, ``_comm``);
+    wrapper-internal receivers (``self.inner``) are deliberately not."""
+    if not (isinstance(call.func, ast.Attribute)
+            and call.func.attr in attrs):
+        return False
+    receiver = _receiver_parts(call)
+    return receiver is not None and any("comm" in seg for seg in receiver)
+
+
+def _mentions_rank(expr: ast.AST, tainted: frozenset[str] | set[str]) -> bool:
+    """True when ``expr`` reads ``<comm-ish>.rank`` or a tainted name."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr == "rank":
+            parts = dotted_parts(node)
+            if parts and any("comm" in seg for seg in parts[:-1]):
+                return True
+        elif isinstance(node, ast.Name) and node.id in tainted:
+            return True
+    return False
+
+
+def _rank_tainted_names(fn: ast.AST) -> set[str]:
+    """Names assigned (transitively) from a comm rank within ``fn``."""
+    tainted: set[str] = set()
+    assigns = [n for n in ast.walk(fn)
+               if isinstance(n, (ast.Assign, ast.AnnAssign, ast.AugAssign))]
+    changed = True
+    while changed:
+        changed = False
+        for node in assigns:
+            value = getattr(node, "value", None)
+            if value is None or not _mentions_rank(value, tainted):
+                continue
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for t in targets:
+                if isinstance(t, ast.Name) and t.id not in tainted:
+                    tainted.add(t.id)
+                    changed = True
+    return tainted
+
+
+def _walk_no_defs(node: ast.AST):
+    """``ast.walk`` that does not descend into nested function/class defs."""
+    stack = list(ast.iter_child_nodes(node))
+    yield node
+    while stack:
+        n = stack.pop()
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                          ast.ClassDef, ast.Lambda)):
+            continue
+        yield n
+        stack.extend(ast.iter_child_nodes(n))
+
+
+def _const_token(node: ast.AST | None,
+                 consts: dict[str, object]) -> str:
+    """Canonical string for a tag/peer expression.
+
+    Integer and string constants canonicalize to their value, names bound
+    to module-level integer constants resolve through ``consts``, and
+    everything else canonicalizes symbolically via ``ast.unparse`` — so
+    ``_TAGS[lo_name]`` on the send side matches ``_TAGS[lo_name]`` on the
+    receive side even though the runtime value is unknown.
+    """
+    if node is None:
+        return "0"
+    if isinstance(node, ast.Constant):
+        return repr(node.value)
+    if isinstance(node, ast.Name) and node.id in consts:
+        return repr(consts[node.id])
+    try:
+        return " ".join(ast.unparse(node).split())
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return f"<expr@{getattr(node, 'lineno', 0)}>"
+
+
+def _module_consts(tree: ast.Module) -> dict[str, object]:
+    """Module-level ``NAME = <int|str constant>`` bindings (incl. tuples)."""
+    consts: dict[str, object] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if (len(node.targets) == 1 and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, (int, str))):
+            consts[node.targets[0].id] = node.value.value
+        elif (len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Tuple)
+                and isinstance(node.value, ast.Tuple)
+                and len(node.targets[0].elts) == len(node.value.elts)):
+            for t, v in zip(node.targets[0].elts, node.value.elts):
+                if (isinstance(t, ast.Name) and isinstance(v, ast.Constant)
+                        and isinstance(v.value, (int, str))):
+                    consts[t.id] = v.value
+    return consts
+
+
+def _call_arg(call: ast.Call, pos: int, kw: str) -> ast.AST | None:
+    """Positional-or-keyword argument lookup."""
+    for k in call.keywords:
+        if k.arg == kw:
+            return k.value
+    if len(call.args) > pos:
+        return call.args[pos]
+    return None
+
+
+def _local_helpers(tree: ast.Module) -> dict[str, ast.AST]:
+    """Unambiguous local function/method name -> def node (``None``-free)."""
+    seen: dict[str, ast.AST | None] = {}
+    for qual, fn in _functions(tree):
+        name = qual.split(".")[-1]
+        seen[name] = None if name in seen else fn
+    return {k: v for k, v in seen.items() if v is not None}
+
+
+def _helper_name(call: ast.Call,
+                 helpers: dict[str, ast.AST]) -> str | None:
+    """Name of the module-local helper a call resolves to, if any."""
+    if isinstance(call.func, ast.Name) and call.func.id in helpers:
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        parts = dotted_parts(call.func)
+        if (parts and len(parts) == 2 and parts[0] == "self"
+                and parts[1] in helpers):
+            return parts[1]
+    return None
+
+
+class _CollectiveIndex:
+    """Transitive collective signatures of module-local helpers."""
+
+    def __init__(self, tree: ast.Module):
+        self.helpers = _local_helpers(tree)
+        self._memo: dict[str, list[str]] = {}
+        self._stack: set[str] = set()
+
+    def signature_of(self, name: str) -> list[str]:
+        if name in self._memo:
+            return self._memo[name]
+        fn = self.helpers.get(name)
+        if fn is None or name in self._stack:
+            return []
+        self._stack.add(name)
+        sig = [tok for tok, _node in _signature(fn.body, self)]
+        self._stack.discard(name)
+        self._memo[name] = sig
+        return sig
+
+
+def _collective_token(call: ast.Call) -> str:
+    """Signature token for one collective call (op refines allreduce)."""
+    kind = call.func.attr  # type: ignore[attr-defined]
+    if kind in {"allreduce", "iallreduce", "reduce"}:
+        op_node = _call_arg(call, 1, "op")
+        op = (op_node.value if isinstance(op_node, ast.Constant) else "sum")
+        return f"{kind}[{op}]"
+    return kind
+
+
+def _signature(stmts: list[ast.stmt],
+               index: _CollectiveIndex) -> list[tuple[str, ast.AST]]:
+    """Ordered collective signature of a statement block.
+
+    Each element is ``(token, node)`` where the node is the call site — a
+    direct collective call, or the call to a local helper that performs
+    collectives (transitive, resolved through ``index``).
+    """
+    out: list[tuple[str, ast.AST]] = []
+    for stmt in stmts:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        if isinstance(stmt, ast.If):
+            out.extend(_expr_signature(stmt.test, index))
+            out.extend(_signature(stmt.body, index))
+            out.extend(_signature(stmt.orelse, index))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            head = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+            out.extend(_expr_signature(head, index))
+            out.extend(_signature(stmt.body, index))
+            out.extend(_signature(stmt.orelse, index))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                out.extend(_expr_signature(item.context_expr, index))
+            out.extend(_signature(stmt.body, index))
+        elif isinstance(stmt, ast.Try):
+            out.extend(_signature(stmt.body, index))
+            for h in stmt.handlers:
+                out.extend(_signature(h.body, index))
+            out.extend(_signature(stmt.orelse, index))
+            out.extend(_signature(stmt.finalbody, index))
+        else:
+            out.extend(_expr_signature(stmt, index))
+    return out
+
+
+def _expr_signature(node: ast.AST | None,
+                    index: _CollectiveIndex) -> list[tuple[str, ast.AST]]:
+    """Collective tokens reachable from one simple statement/expression."""
+    if node is None:
+        return []
+    out: list[tuple[str, ast.AST]] = []
+    for n in _walk_no_defs(node):
+        if not isinstance(n, ast.Call):
+            continue
+        if _is_comm_call(n, COLLECTIVE_ATTRS):
+            out.append((_collective_token(n), n))
+            continue
+        helper = _helper_name(n, index.helpers)
+        if helper is not None:
+            for tok in index.signature_of(helper):
+                out.append((tok, n))
+    return out
+
+
+def _terminates(block: list[ast.stmt]) -> bool:
+    """True when the block unconditionally leaves the enclosing flow."""
+    return any(isinstance(s, (ast.Return, ast.Raise, ast.Break, ast.Continue))
+               for s in block)
+
+
+@register
+class CollectiveDivergenceRule(Rule):
+    code = "RPR009"
+    name = "collective-divergence"
+    description = ("collectives must be reached by every rank: no "
+                   "rank-dependent guard around allreduce/bcast/gather/"
+                   "barrier (directly, through local helpers, in "
+                   "rank-dependent loops, or after a rank-dependent early "
+                   "return) unless both branches issue the same collective "
+                   "sequence")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.config.is_spmd_exempt(ctx.path):
+            return
+        index = _CollectiveIndex(ctx.tree)
+        for qualname, fn in _functions(ctx.tree):
+            tainted = _rank_tainted_names(fn)
+            yield from self._check_block(ctx, qualname, fn.body, tainted,
+                                         index)
+
+    def _check_block(self, ctx: ModuleContext, qualname: str,
+                     stmts: list[ast.stmt], tainted: set[str],
+                     index: _CollectiveIndex) -> Iterator[Finding]:
+        diverged_at: ast.If | None = None
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if diverged_at is not None:
+                for tok, node in _signature([stmt], index):
+                    yield ctx.finding(
+                        self.code,
+                        f"collective {tok} in {qualname} runs after a "
+                        f"rank-dependent early exit (guard at line "
+                        f"{diverged_at.test.lineno}): ranks taking the "
+                        "exit never reach it — deadlock",
+                        node=node, symbol=qualname)
+                continue
+            if isinstance(stmt, ast.If) and _mentions_rank(stmt.test,
+                                                           tainted):
+                if _terminates(stmt.body) != _terminates(stmt.orelse):
+                    # Symmetric early exit — ``if rank == 0: work();
+                    # barrier(); return`` with the fall-through path
+                    # issuing the same collective sequence — is legitimate
+                    # SPMD style: compare the terminating branch against
+                    # the continuation (other branch + rest of block).
+                    term, cont = ((stmt.body, stmt.orelse)
+                                  if _terminates(stmt.body)
+                                  else (stmt.orelse, stmt.body))
+                    kinds_term = [t for t, _ in _signature(term, index)]
+                    kinds_cont = [t for t, _ in _signature(
+                        list(cont) + list(stmts[i + 1:]), index)]
+                    if kinds_term == kinds_cont:
+                        continue
+                sig_body = _signature(stmt.body, index)
+                sig_else = _signature(stmt.orelse, index)
+                kinds_body = [t for t, _ in sig_body]
+                kinds_else = [t for t, _ in sig_else]
+                if kinds_body != kinds_else:
+                    p = 0
+                    while (p < len(kinds_body) and p < len(kinds_else)
+                           and kinds_body[p] == kinds_else[p]):
+                        p += 1
+                    for tok, node in sig_body[p:] + sig_else[p:]:
+                        yield ctx.finding(
+                            self.code,
+                            f"collective {tok} in {qualname} is guarded "
+                            f"by a rank-dependent condition (line "
+                            f"{stmt.test.lineno}) with no matching "
+                            "collective on the other branch: ranks "
+                            "diverge — deadlock",
+                            node=node, symbol=qualname)
+                if _terminates(stmt.body) != _terminates(stmt.orelse):
+                    diverged_at = stmt
+                continue
+            if isinstance(stmt, ast.While) and _mentions_rank(stmt.test,
+                                                              tainted):
+                for tok, node in _signature(stmt.body, index):
+                    yield ctx.finding(
+                        self.code,
+                        f"collective {tok} in {qualname} sits inside a "
+                        f"loop with a rank-dependent bound (line "
+                        f"{stmt.test.lineno}): ranks iterate different "
+                        "counts — deadlock",
+                        node=node, symbol=qualname)
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor)) \
+                    and _mentions_rank(stmt.iter, tainted):
+                for tok, node in _signature(stmt.body, index):
+                    yield ctx.finding(
+                        self.code,
+                        f"collective {tok} in {qualname} sits inside a "
+                        f"loop iterating a rank-dependent range (line "
+                        f"{stmt.iter.lineno}) — deadlock",
+                        node=node, symbol=qualname)
+                continue
+            # Uniform control flow: recurse into compound statements.
+            if isinstance(stmt, ast.If):
+                yield from self._check_block(ctx, qualname, stmt.body,
+                                             tainted, index)
+                yield from self._check_block(ctx, qualname, stmt.orelse,
+                                             tainted, index)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                yield from self._check_block(ctx, qualname, stmt.body,
+                                             tainted, index)
+                yield from self._check_block(ctx, qualname, stmt.orelse,
+                                             tainted, index)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                yield from self._check_block(ctx, qualname, stmt.body,
+                                             tainted, index)
+            elif isinstance(stmt, ast.Try):
+                yield from self._check_block(ctx, qualname, stmt.body,
+                                             tainted, index)
+                for h in stmt.handlers:
+                    yield from self._check_block(ctx, qualname, h.body,
+                                                 tainted, index)
+                yield from self._check_block(ctx, qualname, stmt.orelse,
+                                             tainted, index)
+                yield from self._check_block(ctx, qualname, stmt.finalbody,
+                                             tainted, index)
+
+
+# -- RPR010 --------------------------------------------------------------------
+
+
+class _P2PSummary:
+    """Canonicalized send/recv tags and peers of one function."""
+
+    def __init__(self) -> None:
+        self.send_tags: dict[str, ast.AST] = {}
+        self.recv_tags: dict[str, ast.AST] = {}
+        self.send_peers: dict[str, ast.AST] = {}
+        self.recv_peers: dict[str, ast.AST] = {}
+        # (peer_token, tag_token) pairs, recv side only (direction check).
+        self.recv_pairs: list[tuple[str, str, ast.AST]] = []
+        self.send_pairs: list[tuple[str, str, ast.AST]] = []
+        self.guarded = False
+        self.calls: set[str] = set()
+
+    def has_both(self) -> bool:
+        return bool(self.send_tags) and bool(self.recv_tags)
+
+    def merge(self, other: "_P2PSummary") -> None:
+        for mine, theirs in (
+                (self.send_tags, other.send_tags),
+                (self.recv_tags, other.recv_tags),
+                (self.send_peers, other.send_peers),
+                (self.recv_peers, other.recv_peers)):
+            for tok, node in theirs.items():
+                mine.setdefault(tok, node)
+        self.recv_pairs.extend(other.recv_pairs)
+        self.send_pairs.extend(other.send_pairs)
+        self.guarded = self.guarded or other.guarded
+
+
+def _neighbor_dir(peer_token: str) -> str | None:
+    """``"t.left"`` -> ``"left"`` when the peer is a tile-neighbour attr."""
+    leaf = peer_token.rsplit(".", 1)[-1]
+    return leaf if leaf in NEIGHBOR_OPPOSITE else None
+
+
+def _collect_p2p(fn: ast.AST, consts: dict[str, object],
+                 helpers: dict[str, ast.AST],
+                 tainted: set[str]) -> _P2PSummary:
+    out = _P2PSummary()
+
+    def scan(stmts: list[ast.stmt], guarded: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            sub_guarded = guarded
+            if isinstance(stmt, ast.If):
+                if _mentions_rank(stmt.test, tainted):
+                    sub_guarded = True
+                scan_simple(stmt.test, guarded)
+                scan(stmt.body, sub_guarded)
+                scan(stmt.orelse, sub_guarded)
+                continue
+            if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                head = (stmt.test if isinstance(stmt, ast.While)
+                        else stmt.iter)
+                if _mentions_rank(head, tainted):
+                    sub_guarded = True
+                scan_simple(head, guarded)
+                scan(stmt.body, sub_guarded)
+                scan(stmt.orelse, sub_guarded)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    scan_simple(item.context_expr, guarded)
+                scan(stmt.body, guarded)
+                continue
+            if isinstance(stmt, ast.Try):
+                scan(stmt.body, guarded)
+                for h in stmt.handlers:
+                    scan(h.body, guarded)
+                scan(stmt.orelse, guarded)
+                scan(stmt.finalbody, guarded)
+                continue
+            scan_simple(stmt, guarded)
+
+    def scan_simple(node: ast.AST | None, guarded: bool) -> None:
+        if node is None:
+            return
+        for n in _walk_no_defs(node):
+            if not isinstance(n, ast.Call):
+                continue
+            helper = _helper_name(n, helpers)
+            if helper is not None:
+                out.calls.add(helper)
+            if _is_comm_call(n, SEND_ATTRS):
+                tag = _const_token(_call_arg(n, 2, "tag"), consts)
+                peer = _const_token(_call_arg(n, 1, "dest"), consts)
+                out.send_tags.setdefault(tag, n)
+                out.send_peers.setdefault(peer, n)
+                out.send_pairs.append((peer, tag, n))
+                out.guarded = out.guarded or guarded
+            elif _is_comm_call(n, RECV_ATTRS):
+                tag = _const_token(_call_arg(n, 1, "tag"), consts)
+                peer = _const_token(_call_arg(n, 0, "source"), consts)
+                out.recv_tags.setdefault(tag, n)
+                out.recv_peers.setdefault(peer, n)
+                out.recv_pairs.append((peer, tag, n))
+                out.guarded = out.guarded or guarded
+            elif (_is_comm_call(n, frozenset({"sendrecv"}))):
+                tag = _const_token(_call_arg(n, 3, "tag"), consts)
+                out.send_tags.setdefault(tag, n)
+                out.recv_tags.setdefault(tag, n)
+
+    scan(fn.body, False)
+    return out
+
+
+@register
+class TagPeerMismatchRule(Rule):
+    code = "RPR010"
+    name = "p2p-tag-mismatch"
+    description = ("send/recv tags and neighbour peers must balance across "
+                   "a function and its module-local callees: every tag "
+                   "sent is received (and vice versa), every tile "
+                   "neighbour sent to is received from, and a tag received "
+                   "from a neighbour matches a tag sent toward the "
+                   "opposite neighbour (halo direction invariant)")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.config.is_spmd_exempt(ctx.path):
+            return
+        consts = _module_consts(ctx.tree)
+        helpers = _local_helpers(ctx.tree)
+        summaries: dict[str, _P2PSummary] = {}
+        qualnames: dict[str, str] = {}
+        for qual, fn in _functions(ctx.tree):
+            name = qual.split(".")[-1]
+            if name in helpers and helpers[name] is fn:
+                tainted = _rank_tainted_names(fn)
+                summaries[name] = _collect_p2p(fn, consts, helpers, tainted)
+                qualnames[name] = qual
+
+        merged_memo: dict[str, _P2PSummary] = {}
+
+        def merged(name: str, stack: frozenset[str]) -> _P2PSummary:
+            if name in merged_memo:
+                return merged_memo[name]
+            base = summaries.get(name)
+            total = _P2PSummary()
+            if base is None or name in stack:
+                return total
+            total.merge(base)
+            total.guarded = base.guarded
+            for callee in sorted(base.calls):
+                total.merge(merged(callee, stack | {name}))
+            merged_memo[name] = total
+            return total
+
+        reported: set[tuple[int, int, str]] = set()
+
+        def emit(node: ast.AST, qualname: str, message: str):
+            key = (getattr(node, "lineno", 0),
+                   getattr(node, "col_offset", 0), message)
+            if key in reported:
+                return None
+            reported.add(key)
+            return ctx.finding(self.code, message, node=node,
+                              symbol=qualname)
+
+        for name in summaries:
+            m = merged(name, frozenset())
+            if not m.has_both() or m.guarded:
+                continue
+            qual = qualnames[name]
+            for tok in sorted(set(m.send_tags) - set(m.recv_tags)):
+                f = emit(m.send_tags[tok], qual,
+                         f"tag {tok} is sent in {qual} (or a callee) but "
+                         "never received on any matching channel — the "
+                         "message is orphaned and the peer's receive "
+                         "deadlocks")
+                if f:
+                    yield f
+            for tok in sorted(set(m.recv_tags) - set(m.send_tags)):
+                f = emit(m.recv_tags[tok], qual,
+                         f"tag {tok} is received in {qual} (or a callee) "
+                         "but never sent — the receive blocks forever")
+                if f:
+                    yield f
+            send_nb = {t for t in m.send_peers if _neighbor_dir(t)}
+            recv_nb = {t for t in m.recv_peers if _neighbor_dir(t)}
+            for tok in sorted(send_nb - recv_nb):
+                f = emit(m.send_peers[tok], qual,
+                         f"neighbour {tok} is sent to in {qual} but never "
+                         "received from — the exchange is one-sided")
+                if f:
+                    yield f
+            for tok in sorted(recv_nb - send_nb):
+                f = emit(m.recv_peers[tok], qual,
+                         f"neighbour {tok} is received from in {qual} but "
+                         "never sent to — the exchange is one-sided")
+                if f:
+                    yield f
+            # Direction invariant: a tag received from neighbour X must be
+            # sent toward opposite(X) somewhere in the call graph.
+            for peer_tok, tag_tok, node in m.recv_pairs:
+                direction = _neighbor_dir(peer_tok)
+                if direction is None:
+                    continue
+                opposite = peer_tok[:-len(direction)] \
+                    + NEIGHBOR_OPPOSITE[direction]
+                sent_toward_opposite = {
+                    t for p, t, _n in m.send_pairs if p == opposite}
+                if not sent_toward_opposite:
+                    continue
+                if tag_tok not in sent_toward_opposite:
+                    f = emit(node, qual,
+                             f"recv from {peer_tok} uses tag {tag_tok}, "
+                             f"but the symmetric send toward {opposite} "
+                             f"uses tag(s) "
+                             f"{', '.join(sorted(sent_toward_opposite))} "
+                             "— crossed halo directions deadlock")
+                    if f:
+                        yield f
+
+
+# -- RPR011 --------------------------------------------------------------------
+
+
+def _buffer_base(expr: ast.AST) -> str | None:
+    """Base array token of a message-buffer expression (``a[0, :]`` -> ``a``,
+    ``f.data[r]`` -> ``f.data``); ``None`` for fresh temporaries (calls)."""
+    node = expr
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Call):
+        # np.ascontiguousarray(view) copies: the send buffer is fresh.
+        return None
+    parts = dotted_parts(node)
+    return ".".join(parts) if parts else None
+
+
+def _mutation_targets(stmt: ast.stmt) -> list[tuple[str, ast.AST]]:
+    """Base tokens mutated by one simple statement."""
+    out: list[tuple[str, ast.AST]] = []
+    if isinstance(stmt, ast.Assign):
+        for t in stmt.targets:
+            if isinstance(t, ast.Subscript):
+                base = _buffer_base(t)
+                if base:
+                    out.append((base, t))
+    elif isinstance(stmt, ast.AugAssign):
+        base = _buffer_base(stmt.target)
+        if base:
+            out.append((base, stmt.target))
+    for n in _walk_no_defs(stmt):
+        if (isinstance(n, ast.Call) and isinstance(n.func, ast.Attribute)
+                and n.func.attr in MUTATING_METHODS):
+            parts = dotted_parts(n.func)
+            if parts:
+                out.append((".".join(parts[:-1]), n))
+    return out
+
+
+@register
+class NonblockingAliasRule(Rule):
+    code = "RPR011"
+    name = "isend-buffer-alias"
+    description = ("no mutation of an array that backs an in-flight isend "
+                   "before the matching wait(), and no nonblocking request "
+                   "dropped without wait() (requests that escape into "
+                   "containers/returns are trusted)")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.config.is_spmd_exempt(ctx.path):
+            return
+        for qualname, fn in _functions(ctx.tree):
+            yield from self._check_fn(ctx, qualname, fn)
+
+    def _check_fn(self, ctx: ModuleContext, qualname: str,
+                  fn: ast.AST) -> Iterator[Finding]:
+        # req name -> (kind, buffer base or None, posting call node)
+        pending: dict[str, tuple[str, str | None, ast.AST]] = {}
+        findings: list[Finding] = []
+
+        def process(stmt: ast.stmt) -> None:
+            # 1. completions: req.wait() / req.test()
+            for n in _walk_no_defs(stmt):
+                if (isinstance(n, ast.Call)
+                        and isinstance(n.func, ast.Attribute)
+                        and n.func.attr in {"wait", "test"}
+                        and isinstance(n.func.value, ast.Name)
+                        and n.func.value.id in pending):
+                    pending.pop(n.func.value.id)
+            # 2. mutations of buffers backing in-flight isends
+            for base, node in _mutation_targets(stmt):
+                for req, (kind, buf, posted) in list(pending.items()):
+                    if kind == "isend" and buf is not None and base == buf:
+                        findings.append(ctx.finding(
+                            self.code,
+                            f"array {buf!r} backs the isend posted at "
+                            f"line {posted.lineno} ({req}) and is mutated "
+                            "before the matching wait(): the in-flight "
+                            "message may ship the mutated data",
+                            node=node, symbol=qualname))
+                        pending.pop(req)
+            # 3. escapes: any other use of a pending request name
+            escaped: set[str] = set()
+            values: list[ast.AST] = []
+            if isinstance(stmt, ast.Assign):
+                values.append(stmt.value)
+                for t in stmt.targets:
+                    if not isinstance(t, ast.Name):
+                        values.append(t)
+            elif isinstance(stmt, (ast.Expr, ast.Return, ast.AugAssign)):
+                v = getattr(stmt, "value", None)
+                if v is not None:
+                    values.append(v)
+            else:
+                values.append(stmt)
+            for v in values:
+                for n in _walk_no_defs(v):
+                    if (isinstance(n, ast.Name) and n.id in pending
+                            and not self._is_completion_receiver(n, v)):
+                        escaped.add(n.id)
+            for name in escaped:
+                pending.pop(name, None)
+            # 4. new requests
+            if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Call)):
+                call = stmt.value
+                target = stmt.targets[0].id
+                if _is_comm_call(call, frozenset({"isend"})):
+                    self._flag_overwrite(ctx, qualname, target, pending,
+                                         findings, stmt)
+                    buf_node = _call_arg(call, 0, "obj")
+                    pending[target] = (
+                        "isend",
+                        _buffer_base(buf_node) if buf_node is not None
+                        else None,
+                        call)
+                elif _is_comm_call(call, frozenset({"irecv"})):
+                    self._flag_overwrite(ctx, qualname, target, pending,
+                                         findings, stmt)
+                    pending[target] = ("irecv", None, call)
+
+        def walk(stmts: list[ast.stmt]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    continue
+                if isinstance(stmt, ast.If):
+                    process(ast.Expr(stmt.test))
+                    walk(stmt.body)
+                    walk(stmt.orelse)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                    walk(stmt.body)
+                    walk(stmt.orelse)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    walk(stmt.body)
+                elif isinstance(stmt, ast.Try):
+                    walk(stmt.body)
+                    for h in stmt.handlers:
+                        walk(h.body)
+                    walk(stmt.orelse)
+                    walk(stmt.finalbody)
+                else:
+                    process(stmt)
+
+        walk(fn.body)
+        for req, (kind, _buf, posted) in pending.items():
+            drop = ("the buffered message may never complete"
+                    if kind == "isend"
+                    else "the matching message is silently dropped")
+            findings.append(ctx.finding(
+                self.code,
+                f"{kind} request {req!r} is never waited on, tested or "
+                f"stored — {drop}",
+                node=posted, symbol=qualname))
+        yield from findings
+
+    @staticmethod
+    def _is_completion_receiver(name: ast.Name, root: ast.AST) -> bool:
+        """True when ``name`` appears only as ``name.wait()``/``.test()``."""
+        for n in ast.walk(root):
+            if (isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr in {"wait", "test"}
+                    and n.func.value is name):
+                return True
+        return False
+
+    @staticmethod
+    def _flag_overwrite(ctx, qualname, target, pending, findings, stmt):
+        if target in pending:
+            kind, _buf, posted = pending.pop(target)
+            findings.append(ctx.finding(
+                "RPR011",
+                f"pending {kind} request {target!r} (posted at line "
+                f"{posted.lineno}) is overwritten without wait()",
+                node=stmt, symbol=qualname))

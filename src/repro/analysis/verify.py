@@ -87,6 +87,11 @@ class VerifySpec:
     run: Callable         # (op, b, bounds, max_iters, guard=None) -> SolveResult
     expected: Callable    # (contract) -> (allreduces, halos) per iteration
     detail: str = ""
+    #: Optional variant of ``run`` with periodic residual replacement
+    #: switched on — used by the sanitized verify pass to prove that
+    #: replacement collectives (rerouted to REPLACEMENT_KIND) stay both
+    #: contract-exact *and* sanitizer-transparent.
+    run_replaced: Callable | None = None
 
 
 def _gershgorin_lam_max(kxg, kyg) -> float:
@@ -133,7 +138,10 @@ def default_specs() -> list[VerifySpec]:
             "cg", "repro.solvers.cg", halo=1, iters=(4, 12),
             run=lambda op, b, bounds, k, guard=None: cg_solve(
                 op, b, eps=EPS_NEVER, max_iters=k, guard=guard),
-            expected=per_iter),
+            expected=per_iter,
+            run_replaced=lambda op, b, bounds, k, guard=None: cg_solve(
+                op, b, eps=EPS_NEVER, max_iters=k, guard=guard,
+                replace_interval=5)),
         VerifySpec(
             "cg_fused", "repro.solvers.cg_fused", halo=1, iters=(4, 12),
             run=lambda op, b, bounds, k, guard=None: cg_fused_solve(
@@ -165,14 +173,22 @@ def default_specs() -> list[VerifySpec]:
                 op, b, eps=EPS_NEVER, max_iters=k, inner_steps=4,
                 warmup_iters=8, bounds=bounds, guard=guard),
             expected=ppcg_expected(inner=4, depth=1),
-            detail="inner_steps=4"),
+            detail="inner_steps=4",
+            run_replaced=lambda op, b, bounds, k, guard=None: ppcg_solve(
+                op, b, eps=EPS_NEVER, max_iters=k, inner_steps=4,
+                warmup_iters=8, bounds=bounds, guard=guard,
+                replace_interval=5)),
         VerifySpec(
             "ppcg[depth=4]", "repro.solvers.ppcg", halo=4, iters=(3, 9),
             run=lambda op, b, bounds, k, guard=None: ppcg_solve(
                 op, b, eps=EPS_NEVER, max_iters=k, inner_steps=8,
                 halo_depth=4, warmup_iters=8, bounds=bounds, guard=guard),
             expected=ppcg_expected(inner=8, depth=4),
-            detail="matrix powers, inner_steps=8"),
+            detail="matrix powers, inner_steps=8",
+            run_replaced=lambda op, b, bounds, k, guard=None: ppcg_solve(
+                op, b, eps=EPS_NEVER, max_iters=k, inner_steps=8,
+                halo_depth=4, warmup_iters=8, bounds=bounds, guard=guard,
+                replace_interval=5)),
         VerifySpec(
             "dcg", "repro.solvers.deflation", halo=1, iters=(4, 12),
             run=lambda op, b, bounds, k, guard=None: deflated_cg_solve(
@@ -183,7 +199,8 @@ def default_specs() -> list[VerifySpec]:
 
 def _measure(spec: VerifySpec, n: int,
              resilience: bool = False,
-             integrity: bool = False) -> tuple[float, float, int]:
+             integrity: bool = False,
+             sanitize: bool = False) -> tuple[float, float, int]:
     """Per-iteration (allreduces, halos) for one spec via window deltas.
 
     With ``resilience=True`` the solve is routed through the canonical
@@ -201,6 +218,15 @@ def _measure(spec: VerifySpec, n: int,
     communication budget untouched (recovery-path collectives are logged
     under :data:`~repro.utils.events.RECOVERY_KIND` and therefore do not
     pollute the measured counts).
+
+    ``sanitize=True`` is the strongest configuration: it forces the full
+    resilience + integrity stack on, wraps that stack outermost in
+    :class:`~repro.comm.sanitize.SanitizerComm`, prefers the spec's
+    residual-replacement variant of the run when one exists, and asserts
+    p2p quiescence after each solve.  A contract mismatch here means the
+    sanitizer is not transparent; a
+    :class:`~repro.utils.errors.SanitizerError` means the solver's own
+    communication pattern tripped a runtime check.
     """
     from repro.comm import EventWindow, InstrumentedComm, SerialComm
     from repro.mesh import Field, decompose
@@ -208,6 +234,10 @@ def _measure(spec: VerifySpec, n: int,
     from repro.solvers.eigen import EigenBounds
     from repro.testing import crooked_pipe_system
     from repro.utils import EventLog
+
+    if sanitize:
+        resilience = True
+        integrity = True
 
     grid, kxg, kyg, bg = crooked_pipe_system(n)
     bounds = EigenBounds(1.0, _gershgorin_lam_max(kxg, kyg))
@@ -222,6 +252,9 @@ def _measure(spec: VerifySpec, n: int,
                                         integrity=integrity).comm
         else:
             comm = InstrumentedComm(SerialComm(), log)
+        if sanitize:
+            from repro.comm import SanitizerComm
+            comm = SanitizerComm(comm)
         if integrity:
             import tempfile
 
@@ -234,8 +267,12 @@ def _measure(spec: VerifySpec, n: int,
         op = StencilOperator2D.from_global_faces(
             tile, spec.halo, kxg, kyg, comm, events=log)
         b = Field.from_global(tile, spec.halo, bg)
+        run = (spec.run_replaced
+               if sanitize and spec.run_replaced is not None else spec.run)
         with EventWindow(log) as w:
-            result = spec.run(op, b, bounds, max_iters, guard=guard)
+            result = run(op, b, bounds, max_iters, guard=guard)
+        if sanitize:
+            comm.check_quiescent()
         return (w.count_kind("allreduce"), w.count_kind("halo_exchange"),
                 result.iterations)
 
@@ -253,7 +290,8 @@ def verify_contracts(n: int = 32,
                      specs: list[VerifySpec] | None = None,
                      names: list[str] | None = None,
                      resilience: bool = False,
-                     integrity: bool = False) -> list[VerifyReport]:
+                     integrity: bool = False,
+                     sanitize: bool = False) -> list[VerifyReport]:
     """Measure every solver configuration against its ``COMM_CONTRACT``.
 
     ``resilience=True`` routes each measurement through the resilient
@@ -263,6 +301,11 @@ def verify_contracts(n: int = 32,
     the stack with checksummed envelopes and a durably checkpointing
     guard — the strongest transparency statement: integrity + durability
     machinery must not change the first-attempt communication budget.
+    ``sanitize=True`` stacks the runtime SPMD sanitizer outermost over
+    the full resilience + integrity stack (implying both), switches
+    residual replacement on where the solver supports it, and checks p2p
+    quiescence — the contract must still hold bit-for-bit under every
+    watchdog and fingerprint check.
     """
     from repro.analysis.contracts import validate_contract
 
@@ -288,10 +331,16 @@ def verify_contracts(n: int = 32,
                 detail="missing or invalid COMM_CONTRACT"))
             continue
         measured_ar, measured_halo, d_iter = _measure(
-            spec, n, resilience=resilience, integrity=integrity)
+            spec, n, resilience=resilience, integrity=integrity,
+            sanitize=sanitize)
         expected_ar, expected_halo = spec.expected(contract)
         detail = spec.detail
-        if integrity:
+        if sanitize:
+            extra = "sanitized full stack"
+            if spec.run_replaced is not None:
+                extra += ", residual replacement on"
+            detail = f"{detail}, {extra}" if detail else extra
+        elif integrity:
             detail = (f"{detail}, checksummed+checkpointing stack" if detail
                       else "checksummed+checkpointing stack")
         elif resilience:

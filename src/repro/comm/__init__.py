@@ -14,7 +14,12 @@ mpi4py-flavoured API:
   and reductions into an :class:`~repro.utils.events.EventLog`, feeding the
   performance model;
 - :func:`launch_spmd` — run one function per rank and collect results,
-  propagating failures without deadlocking survivors.
+  propagating failures without deadlocking survivors;
+- :class:`SanitizerComm` / :class:`SanitizerState` — a runtime SPMD
+  sanitizer wrapper that turns divergent collectives, point-to-point
+  races and deadlocks into structured
+  :class:`~repro.utils.errors.SanitizerError` reports naming the
+  offending call-sites.
 """
 
 from repro.comm.base import Communicator, REDUCE_OPS
@@ -22,13 +27,18 @@ from repro.comm.serial import SerialComm
 from repro.comm.threaded import ThreadComm, ThreadWorld
 from repro.comm.instrument import (RECOVERY_KIND, RETRY_KIND, EventWindow,
                                    InstrumentedComm)
+from repro.comm.sanitize import SanitizerComm, SanitizerState
 from repro.comm.spmd import launch_spmd
+from repro.utils.errors import SanitizerError
 
 __all__ = [
     "Communicator",
     "REDUCE_OPS",
     "RECOVERY_KIND",
     "RETRY_KIND",
+    "SanitizerComm",
+    "SanitizerError",
+    "SanitizerState",
     "SerialComm",
     "ThreadComm",
     "ThreadWorld",

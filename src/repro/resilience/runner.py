@@ -200,7 +200,13 @@ def run_resilient(options: SolverOptions,
                 # injector's corruption model applies to it like any
                 # other reduction.
                 mine = float(loaded[0]) if loaded is not None else -1.0
-                resumed = int(stack.comm.allreduce(mine, "min"))
+                # RPR009 sees `store` as rank-dependent (it is built from
+                # comm.rank) and the `if store is None: raise` above as a
+                # divergent early exit.  Its None-ness actually depends
+                # only on checkpoint_dir — uniform config — so every rank
+                # takes the same path to this vote.
+                resumed = int(
+                    stack.comm.allreduce(mine, "min"))  # repro: ignore[RPR009]
                 if resumed >= 0:
                     saved_x = loaded[1].get("x")
                     if saved_x is not None:

@@ -57,6 +57,18 @@ class ChecksumError(TransientCommError):
     """
 
 
+class SanitizerError(CommunicationError):
+    """The SPMD sanitizer detected a correctness violation.
+
+    Raised by :class:`~repro.comm.sanitize.SanitizerComm` when ranks issue
+    divergent collectives, a point-to-point channel shows a write-epoch
+    race or crossed message, or the deadlock watchdog trips.  Derives from
+    plain :class:`CommunicationError` (not the transient flavour): the
+    program is wrong, so re-issuing the operation cannot help and the
+    retry layer must fail fast.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A durable checkpoint could not be written, read or validated.
 

@@ -1,0 +1,49 @@
+"""Seeded RPR011 mutations: non-blocking buffer aliasing and dropped
+requests."""
+
+import numpy as np
+
+
+def mutate_before_wait(comm, a, dest):
+    # BUG: the posted view aliases row 0, which is overwritten before
+    # the matching wait — the receiver may observe either value.
+    req = comm.isend(a[0, :], dest, 7)
+    a[0, :] = 0.0
+    req.wait()
+
+
+def dropped_request(comm, source):
+    # BUG: the receive is posted and never completed — the matching
+    # message is silently dropped.
+    req = comm.irecv(source, 9)
+    return None
+
+
+def escaping_request(comm, source, pending):
+    # CLEAN: the handle escapes into a caller-owned structure (the
+    # begin/end split-phase idiom) — completion happens elsewhere.
+    pending["rx"] = comm.irecv(source, 9)
+    return pending
+
+
+def overwritten_request(comm, a, dest):
+    # BUG: the first request handle is overwritten while still pending.
+    req = comm.isend(a[0, :], dest, 3)
+    req = comm.isend(a[1, :], dest, 4)
+    req.wait()
+
+
+def forgotten_send(comm, a, dest):
+    # BUG: the request handle is dropped on the floor.
+    req = comm.isend(a, dest, 5)
+    return None
+
+
+def clean_overlap(comm, a, dest, source):
+    # CLEAN: a staging copy decouples the posted buffer from the live
+    # array, and both requests complete.
+    req = comm.isend(np.ascontiguousarray(a[0, :]), dest, 7)
+    rx = comm.irecv(source, 7)
+    a[0, :] = 0.0
+    req.wait()
+    return rx.wait()

@@ -1,0 +1,66 @@
+"""Seeded RPR009 mutations: rank-divergent collectives.
+
+Deliberately buggy rank programs checked in as rule test vectors — the
+analyzer's default ``exclude`` glob keeps them out of production runs;
+``tests/test_spmd_rules.py`` analyzes them explicitly and compares the
+findings against ``golden.json``.
+"""
+
+import numpy as np
+
+
+def _norm(comm, x):
+    # Helper issuing a collective: RPR009 must see through this call.
+    return comm.allreduce(float(np.dot(x, x)))
+
+
+def guarded_allreduce(comm, x):
+    # BUG: only rank 0 enters the reduction — every other rank never
+    # posts it and the world deadlocks.
+    if comm.rank == 0:
+        return comm.allreduce(float(x.sum()))
+    return 0.0
+
+
+def guarded_via_helper(comm, x):
+    # BUG: same divergence, but the collective hides inside a local
+    # helper and the guard uses a rank-tainted local.
+    me = comm.rank
+    if me == 0:
+        return _norm(comm, x)
+    return 0.0
+
+
+def early_exit(comm, x):
+    # BUG: rank 0 returns before the barrier the other ranks wait at.
+    if comm.rank == 0:
+        return x
+    comm.barrier()
+    return x
+
+
+def rank_bound_loop(comm, x):
+    # BUG: each rank iterates a different count, so the reduction is
+    # posted a different number of times per rank.
+    total = 0.0
+    for _ in range(comm.rank + 1):
+        total += comm.allreduce(float(x.sum()))
+    return total
+
+
+def symmetric_bcast(comm, payload):
+    # CLEAN: both branches issue the same collective sequence — the
+    # classic root-switched bcast idiom must not be flagged.
+    if comm.rank == 0:
+        return comm.bcast(payload)
+    return comm.bcast(None)
+
+
+def symmetric_early_exit(comm, x):
+    # CLEAN: the early-exit branch issues exactly the collective
+    # sequence the fall-through path will.
+    if comm.rank == 0:
+        comm.barrier()
+        return x
+    comm.barrier()
+    return x

@@ -1,0 +1,57 @@
+"""Seeded RPR010 mutations: send/recv tag and peer mismatches.
+
+Each function mimics the shape of a halo-exchange helper; the bugs are
+the classic transcription slips a 3D generalisation introduces.
+"""
+
+TAG_L, TAG_R = 11, 12
+
+
+def mistagged_exchange(comm, t, lo, hi):
+    # BUG: the rightward message goes out tagged TAG_R but both receives
+    # listen on TAG_L — tag 12 is sent and never received.
+    comm.send(lo, t.left, TAG_L)
+    comm.send(hi, t.right, TAG_R)
+    a = comm.recv(t.left, TAG_L)
+    b = comm.recv(t.right, TAG_L)
+    return a, b
+
+
+def swapped_direction(comm, t, lo, hi):
+    # BUG: tags balance as sets, but the receive from the left neighbour
+    # uses the tag of the message travelling *leftward* — the two
+    # directions are crossed and matched pairs deadlock.
+    comm.send(lo, t.left, TAG_L)
+    comm.send(hi, t.right, TAG_R)
+    a = comm.recv(t.left, TAG_L)
+    b = comm.recv(t.right, TAG_R)
+    return a, b
+
+
+def one_sided(comm, t, lo, hi):
+    # BUG: both receives name the left neighbour — nothing is ever
+    # received from the right.
+    comm.send(lo, t.left, TAG_L)
+    comm.send(hi, t.right, TAG_R)
+    a = comm.recv(t.left, TAG_R)
+    b = comm.recv(t.left, TAG_R)
+    return a, b
+
+
+def clean_exchange(comm, t, lo, hi):
+    # CLEAN: the canonical pattern — the message sent toward the right
+    # (TAG_R) is the one received from the left, and vice versa.
+    comm.send(lo, t.left, TAG_L)
+    comm.send(hi, t.right, TAG_R)
+    a = comm.recv(t.left, TAG_R)
+    b = comm.recv(t.right, TAG_L)
+    return a, b
+
+
+def clean_master_worker(comm, obj):
+    # CLEAN: rank-guarded one-directional p2p is the master/worker
+    # idiom, not a halo transcription slip — RPR010 skips it.
+    if comm.rank == 0:
+        comm.send(obj, 1, 7)
+        return None
+    return comm.recv(0, 7)

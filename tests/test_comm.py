@@ -197,7 +197,9 @@ class TestFailurePropagation:
         def rank_main(comm):
             if comm.rank == 0:
                 raise RuntimeError("boom")
-            return comm.allreduce(1.0)
+            # Deliberate RPR009 divergence: this test proves the world
+            # aborts blocked collectives instead of deadlocking.
+            return comm.allreduce(1.0)  # repro: ignore[RPR009]
 
         with pytest.raises(RuntimeError, match="boom"):
             launch_spmd(rank_main, 3)
