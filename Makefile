@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench report figures examples trace lint verify-contracts resilience restart-demo stability sanitize clean
+.PHONY: install test test-fast bench report figures examples trace lint verify-contracts resilience restart-demo stability sanitize chaos soak clean
 
 install:
 	pip install -e .
@@ -108,6 +108,24 @@ sanitize:
 # when any protected cell misses tolerance without a diagnosis).
 stability:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.harness.stability_sweep --n 16
+
+# Chaos campaign (docs/resilience.md, "Chaos campaigns"): a pinned-seed
+# storm of randomized fault plans against the *composed* resilient stack,
+# every trial checked against the differential/accounting/durability
+# oracle; writes results/chaos/CHAOS_<n>.json (the recovery-SLO ledger)
+# and minimized fixtures for any failure.  Exits non-zero on any oracle
+# or budget violation.
+chaos:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.harness.chaos_sweep \
+	    --trials 200 --out results/chaos
+
+# Soak: periodic fault storms plus kill/restart cycles on the mini-app;
+# the final field must stay bit-identical to one uninterrupted fault-free
+# run.  Writes results/soak/SOAK_<n>.json.
+soak:
+	@rm -rf results/soak
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.harness.soak \
+	    --cycles 3 --ranks 2 --out results/soak
 
 clean:
 	rm -rf results .pytest_cache src/repro.egg-info

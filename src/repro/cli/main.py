@@ -213,6 +213,24 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Seeded chaos campaign against the composed resilient stack."""
+    from repro.harness.chaos_sweep import main as chaos_main
+    argv = ["--seed", str(args.seed), "--trials", str(args.trials),
+            "--n", str(args.n), "--out", args.out]
+    return chaos_main(argv)
+
+
+def _cmd_soak(args) -> int:
+    """Kill/restart soak of the mini-app under periodic fault storms."""
+    from repro.harness.soak import main as soak_main
+    argv = ["--seed", str(args.seed), "--cycles", str(args.cycles),
+            "--steps-per-cycle", str(args.steps_per_cycle),
+            "--n", str(args.n), "--ranks", str(args.ranks),
+            "--out", args.out]
+    return soak_main(argv)
+
+
 def _cmd_report(args) -> int:
     from repro.harness.report import write_report
     paths = write_report(Path(args.out))
@@ -305,6 +323,27 @@ def build_parser() -> argparse.ArgumentParser:
                                         "depth-sweep", "future-solvers",
                                         "breakdown"])
     p_fig.set_defaults(func=_cmd_figure)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded chaos campaign against the resilient stack")
+    p_chaos.add_argument("--seed", type=int, default=20170905)
+    p_chaos.add_argument("--trials", type=int, default=200)
+    p_chaos.add_argument("--n", type=int, default=12, help="mesh size")
+    p_chaos.add_argument("--out", default="results/chaos",
+                         help="directory for CHAOS_<n>.json + fixtures/")
+    p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_soak = sub.add_parser(
+        "soak", help="kill/restart soak under periodic fault storms")
+    p_soak.add_argument("--seed", type=int, default=11)
+    p_soak.add_argument("--cycles", type=int, default=3)
+    p_soak.add_argument("--steps-per-cycle", type=int, default=2)
+    p_soak.add_argument("--n", type=int, default=16, help="mesh size")
+    p_soak.add_argument("--ranks", type=int, default=2,
+                        help="SPMD world size (thread ranks)")
+    p_soak.add_argument("--out", default="results/soak",
+                        help="directory for checkpoints + SOAK_<n>.json")
+    p_soak.set_defaults(func=_cmd_soak)
 
     p_rep = sub.add_parser("report", help="write all figures/tables to a directory")
     p_rep.add_argument("--out", default="results")

@@ -2,18 +2,30 @@
 
 Each rank is an OS thread; rank code is written exactly as it would be with
 mpi4py.  Messages travel through per-``(src, dst, tag)`` FIFO mailboxes, and
-collectives synchronise on a reusable barrier with a shared slot array
-(double-barrier discipline: deposit → barrier → read → barrier, so a fast
-rank can never clobber slots a slow rank has not read yet).
+collectives synchronise on a generation-counter barrier with a shared slot
+array (double-barrier discipline: deposit → barrier → read → barrier, so a
+fast rank can never clobber slots a slow rank has not read yet).
 
 Determinism: reductions fold contributions in rank order, so every rank sees
 a bit-identical result regardless of thread scheduling — this is what makes
 decomposed solves reproducible run-to-run.
 
-Failure handling: when any rank raises, the world is *aborted* — the barrier
-breaks and pending receives raise :class:`CommunicationError` instead of
-hanging forever.  :func:`repro.comm.spmd.launch_spmd` relies on this to
+Failure handling: when any rank raises, the world is *aborted* — blocked
+collectives and pending receives raise :class:`CommunicationError` instead
+of hanging forever.  :func:`repro.comm.spmd.launch_spmd` relies on this to
 propagate the original error.
+
+Abort is deliberately *lazy*: it only breaks operations that can never be
+satisfied.  Mailbox deposits and barrier arrival counts are durable, so a
+surviving rank keeps consuming messages its dead peer already sent and
+keeps passing sync generations its peer already reached — it fails at the
+first operation the peer genuinely never served.  That point is a function
+of the peer's (deterministic) death position, not of how fast the abort
+flag propagated, which is what makes a surviving rank's progress — and
+therefore its guard/checkpoint state at death — reproducible run-to-run.
+(``threading.Barrier.abort`` cannot provide this: a thread released by a
+*successful* generation still raises ``BrokenBarrierError`` when the abort
+lands before it drains.)
 """
 
 from __future__ import annotations
@@ -45,7 +57,10 @@ class ThreadWorld:
         self._mailbox_lock = threading.Lock()
         self._mailboxes: dict[tuple[int, int, int], deque] = {}
         self._mailbox_cv = threading.Condition(self._mailbox_lock)
-        self._barrier = threading.Barrier(size)
+        self._sync_cv = threading.Condition()
+        #: per-rank count of sync generations reached; durable, so a late
+        #: rank can still observe that a now-dead peer did arrive.
+        self._arrivals = [0] * size
         self._slots: list = [None] * size
         self._aborted = threading.Event()
 
@@ -54,7 +69,8 @@ class ThreadWorld:
     def abort(self) -> None:
         """Break all pending synchronisation; called when a rank fails."""
         self._aborted.set()
-        self._barrier.abort()
+        with self._sync_cv:
+            self._sync_cv.notify_all()
         with self._mailbox_cv:
             self._mailbox_cv.notify_all()
 
@@ -97,13 +113,33 @@ class ThreadWorld:
                 self._mailbox_cv.wait(_POLL_S)
                 deadline -= _POLL_S
 
-    def _sync(self) -> None:
-        try:
-            self._barrier.wait()
-        except threading.BrokenBarrierError:
-            raise CommunicationError("world aborted during a collective")
-        if self._aborted.is_set():
-            raise CommunicationError("world aborted during a collective")
+    def _sync(self, rank: int) -> None:
+        """Block until every rank has arrived at this sync generation.
+
+        A generation *completes* once all ranks' arrival counts reach it,
+        and completion is checked before the abort flag — so a rank whose
+        peers all arrived before the world aborted still passes, exactly
+        as it would have under any other scheduling.  Only a generation
+        the dead rank never reached raises.
+        """
+        with self._sync_cv:
+            self._arrivals[rank] += 1
+            gen = self._arrivals[rank]
+            self._sync_cv.notify_all()
+            deadline = _RECV_TIMEOUT_S
+            while True:
+                if all(a >= gen for a in self._arrivals):
+                    return
+                if self._aborted.is_set():
+                    raise CommunicationError(
+                        "world aborted during a collective")
+                if deadline <= 0:
+                    raise CommunicationError(
+                        f"collective timeout after {_RECV_TIMEOUT_S}s: "
+                        f"rank {rank} at sync generation {gen} — "
+                        f"probable deadlock")
+                self._sync_cv.wait(_POLL_S)
+                deadline -= _POLL_S
 
 
 class _MailboxRequest(Request):
@@ -170,9 +206,9 @@ class ThreadComm(Communicator):
         """Deposit into the slot array and return everyone's contributions."""
         w = self.world
         w._slots[self.rank] = value
-        w._sync()
+        w._sync(self.rank)
         values = list(w._slots)
-        w._sync()
+        w._sync(self.rank)
         return values
 
     def allreduce(self, value, op: str = "sum"):
@@ -202,7 +238,7 @@ class ThreadComm(Communicator):
 
     def barrier(self) -> None:
         if self.size > 1:
-            self.world._sync()
+            self.world._sync(self.rank)
 
     # -- helpers ---------------------------------------------------------------------
 

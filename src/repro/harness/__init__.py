@@ -15,6 +15,7 @@ from repro.harness.common import (
     spruce_node_counts,
 )
 from repro.harness.breakdown import run_breakdown
+from repro.harness.chaos_sweep import run_chaos
 from repro.harness.depth_sweep import run_depth_sweep
 from repro.harness.future_solvers import run_future_solvers
 from repro.harness.resilience_sweep import run_resilience_sweep
@@ -36,6 +37,7 @@ __all__ = [
     "iteration_model_for",
     "run_table1",
     "run_breakdown",
+    "run_chaos",
     "run_depth_sweep",
     "run_future_solvers",
     "run_resilience_sweep",

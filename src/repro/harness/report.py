@@ -46,6 +46,12 @@ def write_report(out_dir: Path, fig3_mesh: int = 48) -> list[Path]:
         cells=(("cg[depth=1]", "cg", 1), ("cppcg[depth=16]", "ppcg", 16)))
     write("stability_sweep.txt", stability_sweep.render(sweep))
 
+    from repro.harness import chaos_sweep
+    chaos, ledger = chaos_sweep.run_chaos(
+        trials=50, out_dir=out_dir / "chaos")
+    write("chaos_campaign.txt", chaos_sweep.render(chaos))
+    paths.append(ledger)
+
     paths.extend(write_trace_profile(out_dir))
     return paths
 

@@ -38,6 +38,7 @@ from repro.observe.metrics import (
 from repro.observe.runner import (
     TraceRun,
     deck_system,
+    record_chaos_metrics,
     record_resilience_metrics,
     record_solve_metrics,
     record_stability_metrics,
@@ -78,6 +79,7 @@ __all__ = [
     "traced_crooked_pipe",
     "deck_system",
     "record_solve_metrics",
+    "record_chaos_metrics",
     "record_resilience_metrics",
     "record_stability_metrics",
 ]

@@ -28,6 +28,7 @@ __all__ = [
     "record_solve_metrics",
     "record_resilience_metrics",
     "record_stability_metrics",
+    "record_chaos_metrics",
 ]
 
 
@@ -166,6 +167,33 @@ def record_resilience_metrics(registry: MetricsRegistry, report) -> None:
     registry.gauge("resilience.degraded").set(
         1.0 if report.degraded else 0.0)
     registry.gauge("resilience.virtual_time_s").set(report.virtual_time_s)
+
+
+def record_chaos_metrics(registry: MetricsRegistry, campaign) -> None:
+    """Fill ``registry`` from one :class:`ChaosCampaignResult`.
+
+    The counters mirror the per-class aggregates of the ``CHAOS_<n>.json``
+    ledger (:meth:`~repro.resilience.chaos.ChaosCampaignResult.class_stats`),
+    which is how the test-suite uses this as an independent oracle for the
+    campaign's SLO accounting.  Per-class counters are suffixed with the
+    fault class, e.g. ``chaos.converged.transient``.
+    """
+    registry.counter("chaos.trials").inc(len(campaign.results))
+    registry.counter("chaos.oracle_violations").inc(
+        len(campaign.oracle_violations))
+    registry.counter("chaos.budget_violations").inc(
+        len(campaign.budget_violations()))
+    registry.gauge("chaos.passed").set(1.0 if campaign.passed else 0.0)
+    for cls, s in campaign.class_stats().items():
+        registry.counter(f"chaos.converged.{cls}").inc(s["converged"])
+        registry.counter(f"chaos.failed.{cls}").inc(s["failed"])
+        registry.counter(f"chaos.aborted.{cls}").inc(s["aborted"])
+        registry.counter(f"chaos.retries.{cls}").inc(s["retries"])
+        registry.counter(f"chaos.rollbacks.{cls}").inc(s["rollbacks"])
+        registry.counter(f"chaos.recoveries.{cls}").inc(s["recoveries"])
+        registry.gauge(f"chaos.recovery_rate.{cls}").set(s["recovery_rate"])
+        registry.gauge(f"chaos.virtual_time_s.{cls}").set(
+            s["virtual_time_s"])
 
 
 def record_stability_metrics(registry: MetricsRegistry, cell) -> None:

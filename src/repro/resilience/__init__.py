@@ -22,11 +22,37 @@ solver stack the machinery to survive them:
   redundant message envelopes and duplicate-lane reductions that turn
   silent payload corruption into detected, retryable faults;
 - :mod:`repro.resilience.recovery` — :func:`run_recoverable`, ULFM-style
-  shrink/respawn recovery from rank loss via the durable checkpoints.
+  shrink/respawn recovery from rank loss via the durable checkpoints;
+- :mod:`repro.resilience.chaos` — seeded chaos campaigns: randomized
+  fault storms over the *composed* stack, a differential invariant
+  oracle against fault-free golden runs, ddmin fault-plan minimization
+  into replayable fixtures, a recovery-SLO ledger, and a kill/restart
+  soak runner.
 
 See ``docs/resilience.md`` for the full model.
 """
 
+from repro.resilience.chaos import (
+    DEFAULT_BUDGETS,
+    FAULT_CLASSES,
+    ChaosCampaignResult,
+    GoldenCache,
+    SoakReport,
+    TrialResult,
+    TrialSpec,
+    campaign_specs,
+    known_bad_spec,
+    load_fixture,
+    minimize_and_write_fixture,
+    random_fault_plan,
+    replay_fixture,
+    run_campaign,
+    run_soak,
+    run_trial,
+    shrink_plan,
+    storm_plan,
+    write_fixture,
+)
 from repro.resilience.checkpoint import (
     CHECKPOINT_SCHEMA,
     SolverCheckpointStore,
@@ -63,7 +89,14 @@ from repro.resilience.runner import (
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
+    "ChaosCampaignResult",
     "ChecksumComm",
+    "DEFAULT_BUDGETS",
+    "FAULT_CLASSES",
+    "GoldenCache",
+    "SoakReport",
+    "TrialResult",
+    "TrialSpec",
     "CrashWindow",
     "FaultEvent",
     "FaultPlan",
@@ -83,12 +116,23 @@ __all__ = [
     "ResilientStack",
     "array_crc32",
     "build_resilient_comm",
+    "campaign_specs",
     "commit_checkpoint",
+    "known_bad_spec",
     "latest_checkpoint",
+    "load_fixture",
     "load_rank_checkpoint",
     "load_shard",
+    "minimize_and_write_fixture",
+    "random_fault_plan",
     "read_manifest",
+    "replay_fixture",
+    "run_campaign",
     "run_recoverable",
     "run_resilient",
-    "write_shard",
+    "run_soak",
+    "run_trial",
+    "shrink_plan",
+    "storm_plan",
+    "write_fixture",
 ]

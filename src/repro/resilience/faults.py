@@ -121,8 +121,11 @@ class FaultRule:
         matrix-powers kernel's big messages) without the comm layer
         knowing about halos.
     window:
-        Half-open per-rank operation-index range ``[start, stop)`` in
-        which the rule is live (``None`` = always).
+        Half-open operation-index range ``[start, stop)`` in which the
+        rule is live (``None`` = always).  Point-to-point operations are
+        indexed by the per-rank global op counter; collectives by their
+        per-kind collective sequence number, which is identical on every
+        rank — so a windowed collective rule stays SPMD-coherent.
     max_faults:
         Cap on how many times this rule fires per communicator endpoint.
     delay_s / scale:
@@ -151,6 +154,44 @@ class FaultRule:
         if unknown:
             raise ConfigurationError(
                 f"unknown op(s) {sorted(unknown)}; expected from {OPS}")
+
+    def to_dict(self) -> dict:
+        """JSON-ready description; inverse of :meth:`from_dict`.
+
+        Tuples become lists (JSON has no tuple type); ``None`` filters stay
+        ``None``.  The chaos shrinker serializes minimized plans through
+        this so regression fixtures are plain JSON files.
+        """
+        return {
+            "mode": self.mode,
+            "probability": self.probability,
+            "ops": list(self.ops),
+            "ranks": None if self.ranks is None else list(self.ranks),
+            "tags": None if self.tags is None else list(self.tags),
+            "min_bytes": self.min_bytes,
+            "window": None if self.window is None else list(self.window),
+            "max_faults": self.max_faults,
+            "delay_s": self.delay_s,
+            "scale": self.scale,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultRule":
+        """Rebuild a rule from :meth:`to_dict` output (validates fields)."""
+        def tup(value):
+            return None if value is None else tuple(value)
+        return FaultRule(
+            mode=data["mode"],
+            probability=data.get("probability", 1.0),
+            ops=tuple(data.get("ops", ("send", "recv", "allreduce"))),
+            ranks=tup(data.get("ranks")),
+            tags=tup(data.get("tags")),
+            min_bytes=data.get("min_bytes", 0),
+            window=tup(data.get("window")),
+            max_faults=data.get("max_faults"),
+            delay_s=data.get("delay_s", 1e-3),
+            scale=data.get("scale", 100.0),
+        )
 
     def matches(self, op: str, rank: int, tag: int | None,
                 nbytes: int, op_index: int) -> bool:
@@ -197,6 +238,17 @@ class CrashWindow:
         return (rank == self.rank
                 and self.start <= op_index < self.start + self.length)
 
+    def to_dict(self) -> dict:
+        """JSON-ready description; inverse of :meth:`from_dict`."""
+        return {"rank": self.rank, "start": self.start,
+                "length": self.length}
+
+    @staticmethod
+    def from_dict(data: dict) -> "CrashWindow":
+        """Rebuild a crash window from :meth:`to_dict` output."""
+        return CrashWindow(rank=data["rank"], start=data["start"],
+                           length=data["length"])
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -235,6 +287,43 @@ class FaultPlan:
 
     def active(self) -> bool:
         return self.enabled and bool(self.rules or self.crashes)
+
+    def to_dict(self) -> dict:
+        """JSON-ready plan description (schema ``repro.fault_plan/v1``).
+
+        Round-trips exactly through :meth:`from_dict`:
+        ``FaultPlan.from_dict(plan.to_dict()) == plan`` for every legal
+        plan, which is what lets the chaos shrinker persist minimized
+        plans as regression fixtures under ``tests/fixtures/chaos/``.
+        """
+        return {
+            "schema": "repro.fault_plan/v1",
+            "seed": self.seed,
+            "enabled": self.enabled,
+            "rules": [r.to_dict() for r in self.rules],
+            "crashes": [c.to_dict() for c in self.crashes],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output.
+
+        Raises :class:`ConfigurationError` on an unknown schema tag or any
+        invalid rule/window field (the dataclass validators re-run).
+        """
+        schema = data.get("schema", "repro.fault_plan/v1")
+        if schema != "repro.fault_plan/v1":
+            raise ConfigurationError(
+                f"unknown fault-plan schema {schema!r}; expected "
+                "'repro.fault_plan/v1'")
+        return FaultPlan(
+            seed=data.get("seed", 0),
+            rules=tuple(FaultRule.from_dict(r)
+                        for r in data.get("rules", ())),
+            crashes=tuple(CrashWindow.from_dict(c)
+                          for c in data.get("crashes", ())),
+            enabled=data.get("enabled", True),
+        )
 
 
 @dataclass(frozen=True)
@@ -362,9 +451,18 @@ class FaultyComm(Communicator):
 
         nbytes = payload_bytes(obj) if obj is not None else 0
         collective = op in COLLECTIVE_OPS
+        # Window matching must be rank-coherent for collectives: the
+        # per-rank global op index drifts between ranks as their p2p
+        # counts differ, so a windowed collective rule matched on it
+        # would fire on a strict subset of ranks — an incoherent
+        # collective fault that desyncs the world (one rank retries the
+        # reduction, its peers move on; found by the chaos campaigns).
+        # Collectives therefore match windows on their per-kind sequence
+        # number, which is identical on every rank of an SPMD program.
+        match_idx = seq if collective else idx
         fired: list[tuple[int, FaultRule]] = []
         for i, rule in enumerate(self.plan.rules):
-            if not rule.matches(op, self.rank, tag, nbytes, idx):
+            if not rule.matches(op, self.rank, tag, nbytes, match_idx):
                 continue
             cap = rule.max_faults
             if cap is not None and self._rule_fires.get(i, 0) >= cap:

@@ -159,6 +159,11 @@ class ChecksumComm(Communicator):
         self.integrity_events: list[IntegrityEvent] = []
         self._send_seq: dict[tuple[int, int], int] = {}
         self._recv_seq: dict[tuple[int, int], int] = {}
+        # Mid-protocol receive state per (source, tag): a transient error
+        # on one copy's channel must not discard the copies already
+        # consumed and verified — the retry layer re-enters recv() and
+        # resumes at the channel that failed (see recv()).
+        self._recv_partial: dict[tuple[int, int], dict] = {}
 
     @property
     def rank(self) -> int:
@@ -194,13 +199,28 @@ class ChecksumComm(Communicator):
         self._send_seq[key] = seq + 1
 
     def recv(self, source: int, tag: int = 0, timeout: float | None = None):
+        """Receive one logical message (first verifying copy wins).
+
+        The copy loop is *resumable*: consuming and verifying a copy
+        advances durable per-key state, so when a transient error fires on
+        a later copy's channel and the retry layer re-enters this method,
+        it resumes at the channel that failed instead of re-consuming the
+        earlier channels — re-consuming would deliver the *next* logical
+        message's envelope for the current receive and silently shift the
+        whole sequence stream (a cross-mechanism bug the chaos campaigns
+        caught: retry x redundant envelopes).
+        """
         key = (source, tag)
         expected = self._recv_seq.get(key, 0)
-        good: tuple[int, object] | None = None
-        bad = 0
-        for k in range(self.copies):
+        state = self._recv_partial.setdefault(key, {"next_copy": 0,
+                                                    "good": None, "bad": 0})
+        while state["next_copy"] < self.copies:
+            k = state["next_copy"]
             chan = tag + k * CHANNEL_OFFSET
             while True:
+                # May raise TransientCommError *before* consuming (the
+                # injector fails operations pre-wire): `state` still
+                # points at this channel for the retried attempt.
                 if timeout is None:
                     msg = self.inner.recv(source, chan)
                 else:
@@ -214,12 +234,15 @@ class ChecksumComm(Communicator):
                     continue  # stale duplicate from a retried send
                 break
             if decoded is None:
-                bad += 1
+                state["bad"] += 1
                 self._note("recv", "detect",
                            f"corrupted copy {k} on channel {chan}",
                            peer=source, tag=tag)
-            elif good is None:
-                good = decoded
+            elif state["good"] is None:
+                state["good"] = decoded
+            state["next_copy"] = k + 1
+        good, bad = state["good"], state["bad"]
+        del self._recv_partial[key]
         if good is None:
             raise ChecksumError(
                 f"rank {self.rank}: all {self.copies} copies of message "

@@ -71,9 +71,13 @@ class RetryingComm(Communicator):
         :class:`~repro.resilience.faults.FaultyComm`).
     max_attempts:
         Total attempts per operation (first try included); must be >= 1.
-    base_delay / backoff:
+    base_delay / backoff / max_delay:
         Backoff schedule: attempt ``k`` (1-based re-issue) sleeps
-        ``base_delay * backoff ** (k - 1)`` virtual seconds.
+        ``min(base_delay * backoff ** (k - 1), max_delay)`` virtual
+        seconds.  The cap keeps long retry chains (chaos campaigns run
+        with generous ``max_attempts``) from charging exponentially
+        growing virtual latency: without it a 20-attempt budget would
+        sleep ``base_delay * 2**18`` on its last re-issue.
     clock:
         Object with ``sleep(seconds)``; defaults to a fresh
         :class:`VirtualClock`.
@@ -90,14 +94,20 @@ class RetryingComm(Communicator):
     def __init__(self, inner: Communicator, max_attempts: int = 5,
                  base_delay: float = 1e-3, backoff: float = 2.0,
                  clock=None, events: EventLog | None = None,
-                 recv_timeout: float | None = None):
+                 recv_timeout: float | None = None,
+                 max_delay: float = 1.0):
         if max_attempts < 1:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {max_attempts}")
+        if max_delay < base_delay:
+            raise ConfigurationError(
+                f"max_delay ({max_delay}) must be >= base_delay "
+                f"({base_delay})")
         self.inner = inner
         self.max_attempts = max_attempts
         self.base_delay = base_delay
         self.backoff = backoff
+        self.max_delay = max_delay
         self.clock = clock if clock is not None else VirtualClock()
         self.events = events
         self.recv_timeout = recv_timeout
@@ -119,10 +129,17 @@ class RetryingComm(Communicator):
             try:
                 return call()
             except TransientCommError:
+                # The final attempt re-raises the *retryable* error class
+                # unchanged (TransientCommError, or its ChecksumError
+                # subclass), so solver-level recovery machinery can still
+                # classify an exhausted budget as a transient-fault death —
+                # distinct from the fail-fast plain CommunicationError a
+                # recv timeout raises.
                 if attempt >= self.max_attempts:
                     raise
-                self.clock.sleep(self.base_delay
-                                 * self.backoff ** (attempt - 1))
+                self.clock.sleep(min(self.base_delay
+                                     * self.backoff ** (attempt - 1),
+                                     self.max_delay))
                 attempt += 1
                 self.retries += 1
                 if self.events is not None:

@@ -62,7 +62,8 @@ def build_resilient_comm(base: Communicator,
                          clock: VirtualClock | None = None,
                          cell: IterationCell | None = None,
                          integrity: bool = False,
-                         copies: int = 2) -> ResilientStack:
+                         copies: int = 2,
+                         max_delay: float = 1.0) -> ResilientStack:
     """Wrap ``base`` in the canonical resilient stack.
 
     The order matters: the instrument layer is outermost so its counts are
@@ -88,7 +89,8 @@ def build_resilient_comm(base: Communicator,
         inner = checksum
     retrying = RetryingComm(inner, max_attempts=max_attempts,
                             clock=clk, events=log,
-                            recv_timeout=recv_timeout)
+                            recv_timeout=recv_timeout,
+                            max_delay=max_delay)
     outer = InstrumentedComm(retrying, log)
     return ResilientStack(faulty=faulty, retrying=retrying, comm=outer,
                           clock=clk, cell=it, events=log, checksum=checksum)
@@ -121,6 +123,9 @@ class ResilienceReport:
     resumed_iteration: int = -1
     integrity_detections: int = 0
     integrity_repairs: int = 0
+    #: merged per-rank EventLog of the whole run; the chaos oracle reads
+    #: the rerouted kinds (RETRY_KIND, RECOVERY_KIND, ...) out of this.
+    events: EventLog | None = None
 
     def summary(self) -> str:
         status = "converged" if self.converged else "NOT converged"
@@ -231,6 +236,7 @@ def run_resilient(options: SolverOptions,
     retries = rollbacks = checkpoints = 0
     detections = repairs = 0
     vtime = 0.0
+    merged_events = EventLog.merged(stack.events for _, _, stack, _, _ in out)
     for tile, result, stack, guard, _resumed in out:
         x[tile.global_slices] = result.x.interior
         faults.extend(stack.faulty.log)
@@ -269,4 +275,5 @@ def run_resilient(options: SolverOptions,
         resumed_iteration=out[0][4],
         integrity_detections=detections,
         integrity_repairs=repairs,
+        events=merged_events,
     )

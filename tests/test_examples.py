@@ -1,0 +1,44 @@
+"""Smoke tests: the documented example scripts must run end to end.
+
+Each example is executed as a real subprocess (``python examples/<x>.py``,
+exactly as the README tells users to run it) so import rot, API drift or
+a non-zero exit in the walkthroughs fails the suite instead of silently
+shipping broken documentation.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, env=env, cwd=str(REPO),
+        timeout=600)
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart_runs(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        # the walkthrough prints one converged solve per solver
+        assert "cg" in proc.stdout.lower()
+
+    def test_fault_tolerance_runs(self):
+        proc = run_example("fault_tolerance.py")
+        assert proc.returncode == 0, proc.stderr
+        out = proc.stdout.lower()
+        # all four walkthrough stages made it to their output
+        assert "fault" in out
+        assert "restart" in out or "checkpoint" in out

@@ -343,6 +343,157 @@ class TestDropAndTimeout:
         assert retried and all(r == 0 for r in retried)
 
 
+class TestFaultPlanRoundTrip:
+    """Satellite: FaultPlan ⇄ dict ⇄ JSON round-trips exactly."""
+
+    FULL_PLAN = FaultPlan(seed=42, rules=(
+        # every field non-default at least once, every corruption mode
+        FaultRule(mode="error", probability=0.015,
+                  ops=("send", "recv", "allreduce"), ranks=(0, 2),
+                  tags=(101, 102), min_bytes=64, window=(10, 20),
+                  max_faults=3, delay_s=0.5, scale=7.0),
+        FaultRule(mode="drop", probability=1.0, ops=("send",),
+                  max_faults=1),
+        FaultRule(mode="delay", probability=0.25, ops=("recv",),
+                  delay_s=2e-3),
+        FaultRule(mode="corrupt_nan", probability=0.1, ops=("allreduce",)),
+        FaultRule(mode="corrupt_inf", probability=0.1, ops=("bcast",)),
+        FaultRule(mode="corrupt_sign", probability=0.1, ops=("gather",),
+                  window=(0, 1)),
+        FaultRule(mode="corrupt_scale", probability=0.1,
+                  ops=("allreduce", "allgather"), scale=1e-12,
+                  window=(5, 1 << 40)),
+    ), crashes=(
+        CrashWindow(rank=0, start=0, length=1),
+        CrashWindow(rank=3, start=100, length=17),
+    ))
+
+    def test_round_trip_identity(self):
+        plan = self.FULL_PLAN
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_round_trip_through_json_bytes(self):
+        import json
+        plan = self.FULL_PLAN
+        rebuilt = FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict())))
+        assert rebuilt == plan
+        # and serializing the rebuilt plan is byte-identical
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) \
+            == json.dumps(plan.to_dict(), sort_keys=True)
+
+    def test_disabled_plan_round_trips(self):
+        plan = FaultPlan.disabled()
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt == plan and not rebuilt.active()
+
+    def test_none_filters_survive(self):
+        rule = FaultRule(mode="error", probability=0.5)
+        back = FaultRule.from_dict(rule.to_dict())
+        assert back.ranks is None and back.tags is None \
+            and back.window is None and back.max_faults is None
+        assert back == rule
+
+    def test_window_edges_preserved_as_tuples(self):
+        # tuples come back as tuples (JSON lists must not leak through,
+        # or frozen-dataclass equality and rule matching both break)
+        rule = FaultRule.from_dict(FaultRule(
+            mode="error", window=(0, 1), ops=("send",)).to_dict())
+        assert rule.window == (0, 1) and isinstance(rule.window, tuple)
+        assert rule.matches("send", 0, None, 8, 0)
+        assert not rule.matches("send", 0, None, 8, 1)
+
+    def test_unknown_schema_rejected(self):
+        data = self.FULL_PLAN.to_dict()
+        data["schema"] = "repro.fault_plan/v99"
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict(data)
+
+    def test_invalid_mode_rejected_on_load(self):
+        data = self.FULL_PLAN.to_dict()
+        data["rules"][0]["mode"] = "explode"
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dict(data)
+
+
+class TestRetryBackoffCap:
+    """Satellite: the backoff cap and final-attempt error semantics."""
+
+    class _AlwaysFailing(SerialComm):
+        def __init__(self, exc_class=TransientCommError):
+            super().__init__()
+            self.exc_class = exc_class
+            self.attempts = 0
+
+        def allreduce(self, value, op="sum"):
+            self.attempts += 1
+            raise self.exc_class("injected")
+
+    def test_backoff_cap_honored(self):
+        from repro.resilience import RetryingComm, VirtualClock
+
+        inner = self._AlwaysFailing()
+        clock = VirtualClock()
+        comm = RetryingComm(inner, max_attempts=20, base_delay=1e-3,
+                            backoff=2.0, max_delay=0.01, clock=clock)
+        with pytest.raises(TransientCommError):
+            comm.allreduce(1.0)
+        assert inner.attempts == 20
+        # 19 sleeps of min(1e-3 * 2**k, 0.01): uncapped this would charge
+        # ~262 s; the cap keeps the whole chain under 19 * max_delay.
+        expected = sum(min(1e-3 * 2.0 ** k, 0.01) for k in range(19))
+        assert clock.now == pytest.approx(expected)
+        assert clock.now <= 19 * 0.01
+
+    def test_cap_below_base_delay_rejected(self):
+        from repro.resilience import RetryingComm
+
+        with pytest.raises(ConfigurationError):
+            RetryingComm(SerialComm(), base_delay=1e-2, max_delay=1e-3)
+
+    def test_final_attempt_reraises_retryable_class(self):
+        """Exhausting the budget re-raises the *retryable* error class.
+
+        Solver-level recovery distinguishes a transient-fault death
+        (worth a rank-recovery attempt) from a fail-fast plain
+        CommunicationError; collapsing the class on the last attempt
+        would erase that signal.
+        """
+        from repro.resilience import RetryingComm
+        from repro.utils.errors import ChecksumError
+
+        for exc_class in (TransientCommError, ChecksumError):
+            inner = self._AlwaysFailing(exc_class)
+            comm = RetryingComm(inner, max_attempts=3)
+            with pytest.raises(exc_class):
+                comm.allreduce(1.0)
+            assert inner.attempts == 3
+
+    def test_recv_timeout_forwarded_on_every_attempt(self):
+        """Each attempt gets the per-attempt timeout — the final one too.
+
+        A recv whose early attempts die of transient faults must still
+        pass ``recv_timeout`` to the last attempt, so a dropped message
+        surfaces as a bounded timeout instead of the thread world's
+        120 s deadlock guard.
+        """
+        from repro.resilience import RetryingComm
+
+        seen: list = []
+
+        class _Inner(SerialComm):
+            def recv(self, source, tag=0, timeout=None):
+                seen.append(timeout)
+                if len(seen) < 3:
+                    raise TransientCommError("flaky")
+                raise CommunicationError("receive timeout (simulated)")
+
+        comm = RetryingComm(_Inner(), max_attempts=3, recv_timeout=0.25)
+        with pytest.raises(CommunicationError):
+            comm.recv(source=0)
+        assert seen == [0.25, 0.25, 0.25]
+        assert comm.retries == 2
+
+
 class TestInputValidation:
     """Satellite: NaN/Inf in b or x0 fails upfront for every solver."""
 
