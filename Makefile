@@ -19,8 +19,12 @@ test:
 test-fast:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest tests/ -m "not slow and not distributed"
 
+# Pinned kernel + solver microbenchmarks -> results/bench/BENCH_<n>.json
+# (schema repro.bench/v1; see docs/kernels.md).  The pytest-benchmark
+# suite under benchmarks/ still runs via `pytest benchmarks/` when the
+# plugin is installed, but the ledger of record is `repro bench`.
 bench:
-	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main bench --out results/bench
 
 report:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main report --out results

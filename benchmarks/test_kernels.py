@@ -1,14 +1,21 @@
 """Microbenchmarks of the computational kernels (Listing 1 and friends).
 
 These are the building blocks whose byte-per-cell costs parameterise the
-performance model; benchmarking them documents the NumPy substrate's
-achieved bandwidth.
+performance model; benchmarking them documents the achieved bandwidth of
+every registered :mod:`repro.kernels` backend.  The stencil/BLAS-1 cases
+parametrize over :func:`repro.kernels.available_backends`, so installing
+an optional backend (numba) automatically widens the matrix.
+
+The pinned ledger of record is ``repro bench`` (``make bench``, writing
+``BENCH_<n>.json``); this pytest-benchmark suite is the interactive
+companion for quick A/B runs when the plugin is installed.
 """
 
 import numpy as np
 import pytest
 
 from repro.comm import SerialComm
+from repro.kernels import available_backends, get_backend
 from repro.mesh import Field, Grid2D, HaloExchanger, decompose
 from repro.solvers import (
     BlockJacobiPreconditioner,
@@ -21,6 +28,8 @@ from repro.solvers.eigen import EigenBounds
 from tests.helpers import crooked_pipe_system
 
 N = 512
+
+BACKENDS = list(available_backends())
 
 
 @pytest.fixture(scope="module")
@@ -36,25 +45,53 @@ def vec(op):
     return Field.from_global(op.tile, 1, rng.standard_normal((N, N)))
 
 
-def test_matvec(benchmark, op, vec):
-    """w = A p: the paper's Listing 1 kernel."""
-    w = op.new_field()
-    benchmark(op.apply_noexchange, vec, w)
+@pytest.fixture(scope="module", params=BACKENDS)
+def routed_op(request, op):
+    """The serial operator routed through each registered kernel backend."""
+    return op.with_kernels(request.param)
 
 
-def test_matvec_with_exchange(benchmark, op, vec):
-    w = op.new_field()
-    benchmark(op.apply, vec, w)
+def test_matvec(benchmark, routed_op, vec):
+    """w = A p: the paper's Listing 1 kernel, per kernel backend."""
+    w = routed_op.new_field()
+    benchmark(routed_op.apply_noexchange, vec, w)
 
 
-def test_dot_product(benchmark, op, vec):
-    result = benchmark(op.dot, vec, vec)
+def test_matvec_with_exchange(benchmark, routed_op, vec):
+    w = routed_op.new_field()
+    benchmark(routed_op.apply, vec, w)
+
+
+def test_matvec_dot_chain(benchmark, routed_op, vec):
+    """The fusion CG chain: one exchange, stencil + direction dot."""
+    w = routed_op.new_field()
+    result = benchmark(routed_op.apply_dot, vec, w)
     assert result > 0
 
 
-def test_fused_dots(benchmark, op, vec):
+def test_residual_norm_chain(benchmark, routed_op, vec):
+    """The Jacobi chain: residual + convergence norm in one pass."""
+    r = routed_op.new_field()
+    result = benchmark(routed_op.residual_dot, vec, vec, r)
+    assert result >= 0
+
+
+def test_dot_product(benchmark, routed_op, vec):
+    result = benchmark(routed_op.dot, vec, vec)
+    assert result > 0
+
+
+def test_fused_dots(benchmark, routed_op, vec):
     """Two dot products in one reduction (the paper's §VII restructuring)."""
-    benchmark(op.dots, [(vec, vec), (vec, vec)])
+    benchmark(routed_op.dots, [(vec, vec), (vec, vec)])
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_axpy(benchmark, backend, vec):
+    """y += alpha x on the interior view, per kernel backend."""
+    k = get_backend(backend)
+    y = vec.copy()
+    benchmark(k.axpy, y.interior, 0.0, vec.interior)
 
 
 def test_diagonal_preconditioner(benchmark, op, vec):

@@ -13,9 +13,12 @@ from pathlib import Path
 
 #: Receiver names whose method calls the cost model ignores: preconditioner
 #: applications are accounted separately from the iteration budget (the
-#: paper's budgets are for the un-preconditioned iteration skeleton).
+#: paper's budgets are for the un-preconditioned iteration skeleton), and
+#: kernel-backend calls (``kernels``) are rank-local compute by contract
+#: (:class:`repro.kernels.base.KernelBackend` has no communicator).
 DEFAULT_IGNORE_RECEIVERS = frozenset(
-    {"M", "local_M", "cheby", "precond", "preconditioner", "_inner"})
+    {"M", "local_M", "cheby", "precond", "preconditioner", "_inner",
+     "kernels"})
 
 #: Path globs (posix, matched against the file path) that mark *solver*
 #: modules — only these are required to carry a ``COMM_CONTRACT``.

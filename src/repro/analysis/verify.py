@@ -197,6 +197,61 @@ def default_specs() -> list[VerifySpec]:
     ]
 
 
+def kernel_specs(backend: str = "fused") -> list[VerifySpec]:
+    """Solver configurations re-run through a non-default kernel backend.
+
+    Routing the hot loops through :meth:`StencilOperator2D.with_kernels`
+    must be communication-neutral: the fused ``apply_dot`` /
+    ``residual_dot`` chains change *how* the local arithmetic is blocked,
+    never how often the solver reduces or exchanges.  These specs re-prove
+    the matvec-family budgets with the backend engaged; the CLI appends
+    them to :func:`default_specs` so ``--verify`` fails if a backend ever
+    smuggles in extra communication.
+    """
+    from repro.solvers import cg_fused_solve, cg_solve, jacobi_solve, \
+        ppcg_solve
+
+    def per_iter(contract):
+        return (contract["allreduces_per_iter"],
+                contract["halo_exchanges_per_iter"])
+
+    def ppcg_expected(inner, depth):
+        def expected(contract):
+            halos = (contract["halo_exchanges_per_iter"]
+                     + math.ceil(inner / depth)
+                     * contract.get("halo_exchanges_per_inner_step", 0))
+            return contract["allreduces_per_iter"], halos
+        return expected
+
+    tag = f"[kernels={backend}]"
+    return [
+        VerifySpec(
+            f"cg{tag}", "repro.solvers.cg", halo=1, iters=(4, 12),
+            run=lambda op, b, bounds, k, guard=None: cg_solve(
+                op.with_kernels(backend), b, eps=EPS_NEVER, max_iters=k,
+                guard=guard),
+            expected=per_iter, detail=f"kernel backend {backend}"),
+        VerifySpec(
+            f"cg_fused{tag}", "repro.solvers.cg_fused", halo=1,
+            iters=(4, 12),
+            run=lambda op, b, bounds, k, guard=None: cg_fused_solve(
+                op.with_kernels(backend), b, eps=EPS_NEVER, max_iters=k),
+            expected=per_iter, detail=f"kernel backend {backend}"),
+        VerifySpec(
+            f"jacobi{tag}", "repro.solvers.jacobi", halo=1, iters=(5, 15),
+            run=lambda op, b, bounds, k, guard=None: jacobi_solve(
+                op.with_kernels(backend), b, eps=EPS_NEVER, max_iters=k),
+            expected=per_iter, detail=f"kernel backend {backend}"),
+        VerifySpec(
+            f"ppcg{tag}", "repro.solvers.ppcg", halo=1, iters=(3, 9),
+            run=lambda op, b, bounds, k, guard=None: ppcg_solve(
+                op.with_kernels(backend), b, eps=EPS_NEVER, max_iters=k,
+                inner_steps=4, warmup_iters=8, bounds=bounds, guard=guard),
+            expected=ppcg_expected(inner=4, depth=1),
+            detail=f"inner_steps=4, kernel backend {backend}"),
+    ]
+
+
 def _measure(spec: VerifySpec, n: int,
              resilience: bool = False,
              integrity: bool = False,

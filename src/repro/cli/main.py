@@ -37,6 +37,7 @@ def _cmd_tealeaf(args) -> int:
         refine=deck.tl_enable_refinement,
         replace_interval=deck.tl_replace_interval,
         true_residual=deck.tl_check_true_residual,
+        kernel_backend=deck.tl_kernel_backend,
     )
     n_steps = args.steps if args.steps else deck.n_steps
     report = run_simulation(
@@ -121,6 +122,7 @@ def _cmd_solve(args) -> int:
         refine=deck.tl_enable_refinement,
         replace_interval=deck.tl_replace_interval,
         true_residual=args.true_residual or deck.tl_check_true_residual,
+        kernel_backend=args.kernel_backend or deck.tl_kernel_backend,
     )
     grid = deck.grid
     density, _, u0 = global_initial_state(grid, deck_to_problem(deck))
@@ -231,6 +233,18 @@ def _cmd_soak(args) -> int:
     return soak_main(argv)
 
 
+def _cmd_bench(args) -> int:
+    """Pinned kernel + whole-solver microbenchmark suite."""
+    from repro.harness.bench import main as bench_main
+    argv = ["--out", args.out, "--pr", str(args.pr),
+            "--repeats", str(args.repeats)]
+    if args.quick:
+        argv.append("--quick")
+    if args.backends:
+        argv += ["--backends", args.backends]
+    return bench_main(argv)
+
+
 def _cmd_report(args) -> int:
     from repro.harness.report import write_report
     paths = write_report(Path(args.out))
@@ -298,6 +312,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--true-residual", action="store_true",
                          help="recompute ||b - A x|| after the solve and "
                               "report it next to the recurrence residual")
+    p_solve.add_argument("--kernel-backend", default="",
+                         choices=["", "numpy", "fused", "numba"],
+                         help="kernel backend for the hot paths "
+                              "(deck: tl_kernel_backend)")
     p_solve.set_defaults(func=_cmd_solve)
 
     p_trace = sub.add_parser(
@@ -344,6 +362,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_soak.add_argument("--out", default="results/soak",
                         help="directory for checkpoints + SOAK_<n>.json")
     p_soak.set_defaults(func=_cmd_soak)
+
+    p_bench = sub.add_parser(
+        "bench", help="pinned kernel + solver microbenchmarks -> BENCH_<n>.json")
+    p_bench.add_argument("--out", default="results/bench",
+                         help="directory for BENCH_<n>.json")
+    p_bench.add_argument("--pr", type=int, default=0,
+                         help="ledger index (0: next free slot in --out)")
+    p_bench.add_argument("--repeats", type=int, default=5,
+                         help="timed repeats per case (min is reported)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="smallest grid only (CI smoke)")
+    p_bench.add_argument("--backends", default="",
+                         help="comma-separated backend subset "
+                              "(default: all available)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_rep = sub.add_parser("report", help="write all figures/tables to a directory")
     p_rep.add_argument("--out", default="results")

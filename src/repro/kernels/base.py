@@ -1,0 +1,142 @@
+"""The pluggable kernel interface behind the hot paths.
+
+Every computational kernel of the solver family — the 5-point stencil
+apply (paper Listing 1), the fused apply+dot and apply+axpy+dot chains,
+halo pack/unpack, and the BLAS-1 tail (dot/axpy/norm) — is routed through
+a :class:`KernelBackend`.  Backends operate on **raw padded arrays plus
+explicit loop bounds** so implementations are free to block, fuse or JIT
+without knowing anything about :class:`~repro.mesh.field.Field`,
+communicators or tracing; all of that stays in the operator layer.
+
+Loop-bound convention: ``(r0, r1, c0, c1)`` are *padded-array* indices of
+the region to compute (``rows = r0:r1``, ``cols = c0:c1``), exactly the
+slices returned by :meth:`repro.mesh.field.Field.region`.  The stencil
+reads one extra ring (``r0-1 .. r1`` / ``c0-1 .. c1``), which the caller
+guarantees is valid (a fresh halo).
+
+Numerical policy (see ``docs/kernels.md``):
+
+- **fp-order-preserving kernels** — ``stencil_apply``, ``axpy``, the
+  field updates of ``apply_axpy_dot``, ``pack_halo``/``unpack_halo`` —
+  must match the ``numpy`` baseline **bit for bit** for every dtype.
+  They are elementwise, so blocking/JIT cannot change results as long as
+  the per-element operation order is preserved.
+- **reductions** — ``dot``, ``norm`` and the scalar returned by
+  ``apply_dot``/``apply_axpy_dot`` — may reassociate (blocked partial
+  sums, JIT accumulation loops) and must agree with the baseline within
+  the documented bound ``|d - d_ref| <= 64 * eps(dtype) * sum_i |a_i b_i|``.
+
+The equivalence battery (``tests/test_kernels_equivalence.py``) enforces
+both halves differentially against the ``numpy`` backend for every
+registered backend; no backend ships without it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Per-kernel minimum achievable memory streams (arrays read + written
+#: once per cell), used by the bench ledger's modelled ``bytes_moved``:
+#: ``bytes = streams * cells * itemsize``.  The stencil kernels count
+#: ``p``/``kx``/``ky`` reads and the ``out`` write; the fused chains add
+#: the extra operand streamed (``y`` read+write for the axpy tail) but
+#: *not* re-reads the fusion exists to avoid.
+KERNEL_STREAMS = {
+    "stencil_apply": 4,
+    "apply_dot": 4,
+    "apply_axpy_dot": 6,
+    "dot": 2,
+    "axpy": 3,
+    "norm": 1,
+    "pack_halo": 2,
+    "unpack_halo": 2,
+}
+
+#: Documented reduction-reassociation bound multiplier (ULP policy).
+REDUCTION_ULP_FACTOR = 64.0
+
+
+def reduction_tolerance(a: np.ndarray, b: np.ndarray) -> float:
+    """The documented bound on ``|dot(a, b) - dot_ref(a, b)|``.
+
+    ``64 * eps(dtype) * sum|a_i b_i|`` — a forward-error envelope wide
+    enough to cover any two summation orders (pairwise, blocked partials,
+    serial JIT loops) at the sizes the solvers use, yet ~10 orders of
+    magnitude below the quantities the solvers compare.
+    """
+    eps = float(np.finfo(np.result_type(a.dtype, b.dtype)).eps)
+    weight = float(np.sum(np.abs(a.astype(np.float64, copy=False)
+                                 * b.astype(np.float64, copy=False))))
+    return REDUCTION_ULP_FACTOR * eps * max(weight, 1e-300)
+
+
+class KernelBackend:
+    """Abstract kernel set.  Subclasses implement every method.
+
+    Backends must be stateless with respect to results (scratch buffers
+    are fine); one instance may be shared by an operator and its halo
+    exchanger.
+    """
+
+    #: Registry name (``"numpy"`` / ``"fused"`` / ``"numba"``).
+    name = "?"
+
+    # -- stencil chains --------------------------------------------------------
+
+    def stencil_apply(self, kx: np.ndarray, ky: np.ndarray, p: np.ndarray,
+                      out: np.ndarray, r0: int, r1: int, c0: int, c1: int,
+                      ) -> None:
+        """``out[R] = (A p)[R]`` (paper Listing 1) on region ``R``."""
+        raise NotImplementedError
+
+    def apply_dot(self, kx: np.ndarray, ky: np.ndarray, p: np.ndarray,
+                  out: np.ndarray, r0: int, r1: int, c0: int, c1: int,
+                  ) -> float:
+        """``out[R] = (A p)[R]``; returns the local ``<p, A p>`` over ``R``.
+
+        The fusion CG's matvec+direction-dot chain streams through: one
+        pass over ``p``/``kx``/``ky`` instead of re-reading ``p`` and
+        ``out`` for the dot.
+        """
+        raise NotImplementedError
+
+    def apply_axpy_dot(self, kx: np.ndarray, ky: np.ndarray, p: np.ndarray,
+                       out: np.ndarray, y: np.ndarray, alpha: float,
+                       r0: int, r1: int, c0: int, c1: int) -> float:
+        """``out[R] = (A p)[R]; y[R] += alpha * out[R]``; returns local
+        ``<y, y>`` over ``R``.
+
+        With ``y`` pre-loaded with ``b`` and ``alpha = -1`` this is the
+        fused residual + convergence-norm chain of Jacobi (and of the
+        solvers' true-residual checks): ``y = b - A p`` and ``<y, y>`` in
+        one streaming pass.
+        """
+        raise NotImplementedError
+
+    # -- BLAS-1 tail -----------------------------------------------------------
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Local dot product of two (2D view) arrays."""
+        raise NotImplementedError
+
+    def axpy(self, y: np.ndarray, alpha: float, x: np.ndarray) -> None:
+        """``y += alpha * x`` in place (bit-identical to the baseline)."""
+        raise NotImplementedError
+
+    def norm(self, a: np.ndarray) -> float:
+        """Local 2-norm ``sqrt(<a, a>)``."""
+        raise NotImplementedError
+
+    # -- halo pack/unpack ------------------------------------------------------
+
+    def pack_halo(self, a: np.ndarray, rows: slice, cols: slice) -> np.ndarray:
+        """Contiguous copy of ``a[rows, cols]`` ready to send."""
+        raise NotImplementedError
+
+    def unpack_halo(self, a: np.ndarray, rows: slice, cols: slice,
+                    buf: np.ndarray) -> None:
+        """``a[rows, cols] = buf`` (received payload into ghost cells)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KernelBackend {self.name}>"

@@ -1,0 +1,67 @@
+"""The ``numpy`` baseline backend.
+
+These bodies are the repository's original hot-path implementations,
+extracted verbatim from :meth:`repro.solvers.operator.StencilOperator2D.
+apply_noexchange`, :meth:`repro.mesh.field.Field.local_dot` and the halo
+exchanger's pack/unpack sites.  Every other backend is proven against
+this one by the differential battery, so its results define the
+reference bit patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend
+
+
+class NumpyBackend(KernelBackend):
+    """Whole-array NumPy kernels (the pre-``repro.kernels`` behaviour)."""
+
+    name = "numpy"
+
+    # -- stencil chains --------------------------------------------------------
+
+    def stencil_apply(self, kx, ky, p, out, r0, r1, c0, c1):
+        pc = p[r0:r1, c0:c1]
+        ky_lo = ky[r0:r1, c0:c1]
+        ky_hi = ky[r0 + 1:r1 + 1, c0:c1]
+        kx_lo = kx[r0:r1, c0:c1]
+        kx_hi = kx[r0:r1, c0 + 1:c1 + 1]
+        out[r0:r1, c0:c1] = (
+            (1.0 + ky_hi + ky_lo + kx_hi + kx_lo) * pc
+            - ky_hi * p[r0 + 1:r1 + 1, c0:c1]
+            - ky_lo * p[r0 - 1:r1 - 1, c0:c1]
+            - kx_hi * p[r0:r1, c0 + 1:c1 + 1]
+            - kx_lo * p[r0:r1, c0 - 1:c1 - 1]
+        )
+
+    def apply_dot(self, kx, ky, p, out, r0, r1, c0, c1):
+        self.stencil_apply(kx, ky, p, out, r0, r1, c0, c1)
+        return float(np.dot(p[r0:r1, c0:c1].ravel(),
+                            out[r0:r1, c0:c1].ravel()))
+
+    def apply_axpy_dot(self, kx, ky, p, out, y, alpha, r0, r1, c0, c1):
+        self.stencil_apply(kx, ky, p, out, r0, r1, c0, c1)
+        yr = y[r0:r1, c0:c1]
+        yr += alpha * out[r0:r1, c0:c1]
+        return float(np.dot(yr.ravel(), yr.ravel()))
+
+    # -- BLAS-1 tail -----------------------------------------------------------
+
+    def dot(self, a, b):
+        return float(np.dot(a.ravel(), b.ravel()))
+
+    def axpy(self, y, alpha, x):
+        y += alpha * x
+
+    def norm(self, a):
+        return float(np.sqrt(self.dot(a, a)))
+
+    # -- halo pack/unpack ------------------------------------------------------
+
+    def pack_halo(self, a, rows, cols):
+        return np.ascontiguousarray(a[rows, cols])
+
+    def unpack_halo(self, a, rows, cols, buf):
+        a[rows, cols] = buf

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
 
-import numpy as np
-
 from repro.mesh.field import Field
 from repro.utils.errors import CommunicationError
 from repro.utils.events import EventLog
@@ -43,11 +41,16 @@ class HaloExchanger:
     tracer:
         Optional :class:`~repro.observe.trace.Tracer`; each call emits a
         ``halo_exchange`` span keyed by depth (null tracer by default).
+    kernels:
+        Optional :class:`~repro.kernels.KernelBackend` providing the
+        ``pack_halo``/``unpack_halo`` kernels (``numpy`` baseline by
+        default; the owning operator shares its backend).
     """
 
     comm: object
     events: EventLog | None = dc_field(default=None)
     tracer: object = dc_field(default=None)
+    kernels: object = dc_field(default=None)
 
     def __post_init__(self) -> None:
         if self.tracer is None:
@@ -55,6 +58,9 @@ class HaloExchanger:
             # the observability package in at module load.
             from repro.observe.trace import NULL_TRACER
             self.tracer = NULL_TRACER
+        if self.kernels is None:
+            from repro.kernels import DEFAULT_BACKEND, get_backend
+            self.kernels = get_backend(DEFAULT_BACKEND)
 
     def exchange(self, fields: Field | list[Field], depth: int = 1) -> None:
         """Exchange depth-``depth`` halos for one or more fields.
@@ -108,15 +114,16 @@ class HaloExchanger:
                 t, h, a = f.tile, f.halo, f.data
                 rows = slice(h, h + t.ny)
                 if t.left is not None:
-                    self.comm.send(np.ascontiguousarray(a[rows, h:h + depth]),
-                                   dest=t.left, tag=_TAG_LEFT)
+                    self.comm.send(
+                        self.kernels.pack_halo(a, rows, slice(h, h + depth)),
+                        dest=t.left, tag=_TAG_LEFT)
                     req = self.comm.irecv(source=t.left, tag=_TAG_RIGHT)
                     pending["recvs"].append(
                         (f, (rows, slice(h - depth, h)), req))
                 if t.right is not None:
                     self.comm.send(
-                        np.ascontiguousarray(
-                            a[rows, h + t.nx - depth:h + t.nx]),
+                        self.kernels.pack_halo(
+                            a, rows, slice(h + t.nx - depth, h + t.nx)),
                         dest=t.right, tag=_TAG_RIGHT)
                     req = self.comm.irecv(source=t.right, tag=_TAG_LEFT)
                     pending["recvs"].append(
@@ -132,7 +139,7 @@ class HaloExchanger:
             nbytes = 0
             for f, region, req in pending["recvs"]:
                 got = req.wait()
-                f.data[region] = got
+                self.kernels.unpack_halo(f.data, region[0], region[1], got)
                 nbytes += got.nbytes * 2
             for f in pending["fields"]:
                 nbytes += self._exchange_y(f, depth)
@@ -147,17 +154,23 @@ class HaloExchanger:
         nbytes = 0
         # Post all sends first (non-blocking deposit), then blocking recvs.
         if t.left is not None:
-            self.comm.send(np.ascontiguousarray(a[rows, h:h + d]),
+            self.comm.send(self.kernels.pack_halo(a, rows, slice(h, h + d)),
                            dest=t.left, tag=_TAG_LEFT)
         if t.right is not None:
-            self.comm.send(np.ascontiguousarray(a[rows, h + t.nx - d:h + t.nx]),
-                           dest=t.right, tag=_TAG_RIGHT)
+            self.comm.send(
+                self.kernels.pack_halo(a, rows,
+                                       slice(h + t.nx - d, h + t.nx)),
+                dest=t.right, tag=_TAG_RIGHT)
         if t.left is not None:
-            a[rows, h - d:h] = self.comm.recv(source=t.left, tag=_TAG_RIGHT)
+            self.kernels.unpack_halo(a, rows, slice(h - d, h),
+                                     self.comm.recv(source=t.left,
+                                                    tag=_TAG_RIGHT))
             nbytes += t.ny * d * a.itemsize * 2  # send + recv payload
         if t.right is not None:
-            a[rows, h + t.nx:h + t.nx + d] = self.comm.recv(
-                source=t.right, tag=_TAG_LEFT)
+            self.kernels.unpack_halo(a, rows,
+                                     slice(h + t.nx, h + t.nx + d),
+                                     self.comm.recv(source=t.right,
+                                                    tag=_TAG_LEFT))
             nbytes += t.ny * d * a.itemsize * 2
         return nbytes
 
@@ -168,17 +181,22 @@ class HaloExchanger:
         width = t.nx + 2 * d
         nbytes = 0
         if t.down is not None:
-            self.comm.send(np.ascontiguousarray(a[h:h + d, cols]),
+            self.comm.send(self.kernels.pack_halo(a, slice(h, h + d), cols),
                            dest=t.down, tag=_TAG_DOWN)
         if t.up is not None:
-            self.comm.send(np.ascontiguousarray(a[h + t.ny - d:h + t.ny, cols]),
-                           dest=t.up, tag=_TAG_UP)
+            self.comm.send(
+                self.kernels.pack_halo(a, slice(h + t.ny - d, h + t.ny),
+                                       cols),
+                dest=t.up, tag=_TAG_UP)
         if t.down is not None:
-            a[h - d:h, cols] = self.comm.recv(source=t.down, tag=_TAG_UP)
+            self.kernels.unpack_halo(a, slice(h - d, h), cols,
+                                     self.comm.recv(source=t.down,
+                                                    tag=_TAG_UP))
             nbytes += width * d * a.itemsize * 2
         if t.up is not None:
-            a[h + t.ny:h + t.ny + d, cols] = self.comm.recv(
-                source=t.up, tag=_TAG_DOWN)
+            self.kernels.unpack_halo(a, slice(h + t.ny, h + t.ny + d), cols,
+                                     self.comm.recv(source=t.up,
+                                                    tag=_TAG_DOWN))
             nbytes += width * d * a.itemsize * 2
         return nbytes
 

@@ -88,6 +88,7 @@ class Deck:
     tl_enable_recovery: bool = False
     tl_enable_checksums: bool = False
     tl_working_dtype: str = "float64"
+    tl_kernel_backend: str = "numpy"
     tl_replace_interval: int = 0
     tl_enable_refinement: bool = False
     tl_check_true_residual: bool = False
@@ -246,6 +247,14 @@ def _apply_setting(deck: Deck, key: str, val: str, lineno: int) -> None:
                 f"line {lineno}: unknown tl_working_dtype {val!r}; "
                 f"expected one of {list(WORKING_DTYPES)}")
         deck.tl_working_dtype = val
+        return
+    if key == "tl_kernel_backend":
+        from repro.solvers.options import KERNEL_BACKENDS
+        if val not in KERNEL_BACKENDS:
+            raise ConfigurationError(
+                f"line {lineno}: unknown tl_kernel_backend {val!r}; "
+                f"expected one of {list(KERNEL_BACKENDS)}")
+        deck.tl_kernel_backend = val
         return
     raise ConfigurationError(f"line {lineno}: unknown setting {key!r}")
 

@@ -202,8 +202,10 @@ def cg_solve(
                                    scalars={"rz": rz, "rr": rr,
                                             "pa": precond_applies,
                                             "steps": len(alphas)})
-            op.apply(p, w)
-            (pw,) = op.dots([(p, w)])
+            # Fused matvec + direction dot: same exchange/allreduce budget
+            # as the apply + dots pair, one streaming pass on fused
+            # backends.
+            pw = op.apply_dot(p, w)
             if guard is not None and not (np.isfinite(pw) and pw > 0.0):
                 # Corrupted reduction or perturbed direction vector: restore
                 # the last checkpoint and replay (the fault stream has moved
@@ -219,8 +221,8 @@ def cg_solve(
             # poisoned reduction silently NaN the whole recurrence).
             breakdown.curvature(pw, iterations)
             alpha = rz / pw
-            x.interior += alpha * p.interior
-            r.interior -= alpha * w.interior
+            op.kernels.axpy(x.interior, alpha, p.interior)
+            op.kernels.axpy(r.interior, -alpha, w.interior)
             if identity:
                 (rz_new,) = op.dots([(r, r)])
                 rr = rz_new

@@ -97,8 +97,8 @@ def cg_fused_solve(
     res_norm = r0_norm
 
     while iterations < max_iters:
-        x.interior += alpha * p.interior
-        r.interior -= alpha * s.interior
+        op.kernels.axpy(x.interior, alpha, p.interior)
+        op.kernels.axpy(r.interior, -alpha, s.interior)
         M.apply(r, u)
         op.apply(u, w)
         gamma_new, delta, rr = op.dots([(r, u), (w, u), (r, r)])

@@ -176,8 +176,8 @@ class ChebyshevIteration:
         ext = n - 1 - s
         region = self.rr.region(ext)
         op.apply_noexchange(self.d, self.w, ext=ext)
-        self.accum.interior += self.d.interior
-        self.rr.data[region] -= self.w.data[region]
+        op.kernels.axpy(self.accum.interior, 1.0, self.d.interior)
+        op.kernels.axpy(self.rr.data[region], -1.0, self.w.data[region])
         rho_new = 1.0 / (2.0 * self.sigma - self.rho)
         # d <- rho' rho d + (2 rho'/delta) M^{-1} r  on the extended region
         self.d.data[region] *= rho_new * self.rho
@@ -194,8 +194,8 @@ class ChebyshevIteration:
             self.M.apply(self.rr, self.d)
             self.d.interior[...] /= self.theta
         op.apply(self.d, self.w)  # depth-1 exchange of d inside
-        self.accum.interior += self.d.interior
-        self.rr.interior -= self.w.interior
+        op.kernels.axpy(self.accum.interior, 1.0, self.d.interior)
+        op.kernels.axpy(self.rr.interior, -1.0, self.w.interior)
         rho_new = 1.0 / (2.0 * self.sigma - self.rho)
         self.M.apply(self.rr, self.w)
         self.d.interior[...] = (rho_new * self.rho * self.d.interior

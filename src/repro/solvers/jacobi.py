@@ -57,8 +57,7 @@ def jacobi_solve(
     r = op.new_field()
     inv_diag = 1.0 / op.diagonal()
 
-    op.residual(b, x, out=r)
-    rr = op.dot(r, r)
+    rr = op.residual_dot(b, x, out=r)
     r0_norm = float(np.sqrt(rr))
     threshold = eps * r0_norm
     history = [r0_norm]
@@ -71,8 +70,9 @@ def jacobi_solve(
     while not converged and iterations < max_iters:
         with tracer.span("iteration", "jacobi"):
             x.interior += inv_diag * r.interior
-            op.residual(b, x, out=r)
-            rr = op.dot(r, r)
+            # Fused residual + convergence dot: one exchange, one
+            # allreduce, exactly the budget of the residual + dot pair.
+            rr = op.residual_dot(b, x, out=r)
             iterations += 1
             res_norm = float(np.sqrt(rr))
             history.append(res_norm)

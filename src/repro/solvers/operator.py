@@ -27,6 +27,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.comm.base import Communicator
+from repro.kernels import DEFAULT_BACKEND, KernelBackend, get_backend
 from repro.mesh.decomposition import Tile
 from repro.mesh.field import Field
 from repro.mesh.halo import HaloExchanger
@@ -74,6 +75,10 @@ class StencilOperator2D:
         Optional :class:`~repro.observe.trace.Tracer`, shared with the
         exchanger; the stencil emits ``stencil`` spans, solvers read it
         for ``iteration``/``precond`` spans (null tracer by default).
+    kernels:
+        The :class:`~repro.kernels.KernelBackend` (or registry name) the
+        hot paths route through; shared with the exchanger.  Defaults to
+        the ``numpy`` baseline.
     """
 
     kx: Field
@@ -82,6 +87,10 @@ class StencilOperator2D:
     exchanger: HaloExchanger = None
     events: EventLog = dc_field(default_factory=EventLog)
     tracer: object = dc_field(default=None)
+    kernels: KernelBackend = dc_field(default=None)
+    #: Lazily allocated workspace for the fused residual chain.
+    _scratch: Field = dc_field(default=None, init=False, repr=False,
+                               compare=False)
 
     def __post_init__(self):
         if self.kx.tile != self.ky.tile or self.kx.halo != self.ky.halo:
@@ -91,9 +100,14 @@ class StencilOperator2D:
             # loading the observability package at module import time.
             from repro.observe.trace import NULL_TRACER
             self.tracer = NULL_TRACER
+        if self.kernels is None:
+            self.kernels = get_backend(DEFAULT_BACKEND)
+        elif isinstance(self.kernels, str):
+            self.kernels = get_backend(self.kernels)
         if self.exchanger is None:
             self.exchanger = HaloExchanger(self.comm, events=self.events,
-                                           tracer=self.tracer)
+                                           tracer=self.tracer,
+                                           kernels=self.kernels)
         else:
             if self.exchanger.events is None:
                 self.exchanger.events = self.events
@@ -166,19 +180,8 @@ class StencilOperator2D:
         rows, cols = self._region(ext)
         r0, r1, c0, c1 = rows.start, rows.stop, cols.start, cols.stop
         with self.tracer.span("stencil", ext):
-            pd, kxd, kyd = p.data, self.kx.data, self.ky.data
-            pc = pd[r0:r1, c0:c1]
-            ky_lo = kyd[r0:r1, c0:c1]
-            ky_hi = kyd[r0 + 1:r1 + 1, c0:c1]
-            kx_lo = kxd[r0:r1, c0:c1]
-            kx_hi = kxd[r0:r1, c0 + 1:c1 + 1]
-            out.data[r0:r1, c0:c1] = (
-                (1.0 + ky_hi + ky_lo + kx_hi + kx_lo) * pc
-                - ky_hi * pd[r0 + 1:r1 + 1, c0:c1]
-                - ky_lo * pd[r0 - 1:r1 - 1, c0:c1]
-                - kx_hi * pd[r0:r1, c0 + 1:c1 + 1]
-                - kx_lo * pd[r0:r1, c0 - 1:c1 - 1]
-            )
+            self.kernels.stencil_apply(self.kx.data, self.ky.data,
+                                       p.data, out.data, r0, r1, c0, c1)
         self.events.record("matvec", None,
                            cells=(r1 - r0) * (c1 - c0))
 
@@ -186,6 +189,61 @@ class StencilOperator2D:
         """``out = A p`` on the interior, exchanging p's depth-1 halo first."""
         self.exchanger.exchange(p, depth=1)
         self.apply_noexchange(p, out, ext=0)
+
+    def apply_dot(self, p: Field, out: Field) -> float:
+        """``out = A p``; returns the global ``<p, A p>``.
+
+        Same communication budget as the ``apply`` + ``dots`` pair it
+        fuses (one depth-1 exchange, one allreduce), but the backend may
+        stream the dot through the stencil pass (see
+        :meth:`repro.kernels.base.KernelBackend.apply_dot`).
+        """
+        self.exchanger.exchange(p, depth=1)
+        rows, cols = self._region(0)
+        r0, r1, c0, c1 = rows.start, rows.stop, cols.start, cols.stop
+        with self.tracer.span("stencil", 0):
+            local = self.kernels.apply_dot(self.kx.data, self.ky.data,
+                                           p.data, out.data, r0, r1, c0, c1)
+        self.events.record("matvec", None,
+                           cells=(r1 - r0) * (c1 - c0))
+        return float(self.comm.allreduce(local))
+
+    def residual_dot(self, b: Field, x: Field, out: Field) -> float:
+        """``out = b - A x``; returns the global ``<out, out>``.
+
+        The fused residual + convergence-norm chain (Jacobi's per-sweep
+        tail): one depth-1 exchange and one allreduce, identical to the
+        ``residual`` + ``dot`` pair it replaces.
+        """
+        self.exchanger.exchange(x, depth=1)
+        if self._scratch is None:
+            self._scratch = self.new_field()
+        rows, cols = self._region(0)
+        r0, r1, c0, c1 = rows.start, rows.stop, cols.start, cols.stop
+        out.interior[...] = b.interior
+        with self.tracer.span("stencil", 0):
+            local = self.kernels.apply_axpy_dot(
+                self.kx.data, self.ky.data, x.data, self._scratch.data,
+                out.data, -1.0, r0, r1, c0, c1)
+        self.events.record("matvec", None,
+                           cells=(r1 - r0) * (c1 - c0))
+        return float(self.comm.allreduce(local))
+
+    def with_kernels(self, backend) -> "StencilOperator2D":
+        """This operator routed through kernel backend ``backend``.
+
+        Returns ``self`` when the backend already matches; otherwise a
+        shallow copy sharing coefficients, communicator, events and
+        tracer, with a fresh exchanger bound to the new backend.
+        """
+        k = get_backend(backend) if isinstance(backend, str) else backend
+        if k.name == self.kernels.name:
+            return self
+        exchanger = HaloExchanger(self.comm, events=self.events,
+                                  tracer=self.tracer, kernels=k)
+        return StencilOperator2D(kx=self.kx, ky=self.ky, comm=self.comm,
+                                 exchanger=exchanger, events=self.events,
+                                 tracer=self.tracer, kernels=k)
 
     #: spatial dimensionality (3D operators report 3)
     ndim = 2
@@ -211,7 +269,8 @@ class StencilOperator2D:
 
     def dot(self, a: Field, b: Field) -> float:
         """Global dot product over interiors (one allreduce)."""
-        return float(self.comm.allreduce(a.local_dot(b)))
+        return float(self.comm.allreduce(
+            self.kernels.dot(a.interior, b.interior)))
 
     def dots(self, pairs: list[tuple[Field, Field]]) -> tuple[float, ...]:
         """Several global dot products fused into a single allreduce.
@@ -219,7 +278,8 @@ class StencilOperator2D:
         This is the "multiple dot products combined into a single
         communication step" optimisation the paper lists as future work.
         """
-        local = np.array([a.local_dot(b) for a, b in pairs])
+        local = np.array([self.kernels.dot(a.interior, b.interior)
+                          for a, b in pairs])
         out = self.comm.allreduce(local)
         return tuple(float(v) for v in out)
 

@@ -54,6 +54,10 @@ class DistributedOperator3D:
     comm: Communicator
     exchanger: HaloExchanger3D = None
     events: EventLog = dc_field(default_factory=EventLog)
+    #: Kernel backend for the BLAS-1 tail (dot/axpy).  The 7-point stencil
+    #: itself stays whole-array NumPy — :mod:`repro.kernels` backends are
+    #: 2D-only for the stencil chains (documented scope, docs/kernels.md).
+    kernels: object = dc_field(default=None)
 
     ndim = 3
 
@@ -63,6 +67,12 @@ class DistributedOperator3D:
         if len(tiles) != 1 or len(halos) != 1:
             raise ConfigurationError(
                 "kx/ky/kz fields must share tile and halo")
+        if self.kernels is None:
+            from repro.kernels import DEFAULT_BACKEND, get_backend
+            self.kernels = get_backend(DEFAULT_BACKEND)
+        elif isinstance(self.kernels, str):
+            from repro.kernels import get_backend
+            self.kernels = get_backend(self.kernels)
         if self.exchanger is None:
             self.exchanger = HaloExchanger3D(self.comm, events=self.events)
         elif self.exchanger.events is None:
@@ -143,6 +153,33 @@ class DistributedOperator3D:
         self.exchanger.exchange(p, depth=1)
         self.apply_noexchange(p, out, ext=0)
 
+    def apply_dot(self, p: Field3D, out: Field3D) -> float:
+        """``out = A p``; returns the global ``<p, A p>``.
+
+        Unfused in 3D (apply then dot) but the same one-exchange,
+        one-allreduce budget as the 2D fused chain.
+        """
+        self.apply(p, out)
+        return float(self.comm.allreduce(
+            self.kernels.dot(p.interior, out.interior)))
+
+    def residual_dot(self, b: Field3D, x: Field3D, out: Field3D) -> float:
+        """``out = b - A x``; returns the global ``<out, out>``."""
+        self.residual(b, x, out)
+        return float(self.comm.allreduce(
+            self.kernels.dot(out.interior, out.interior)))
+
+    def with_kernels(self, backend) -> "DistributedOperator3D":
+        """This operator with backend ``backend`` for its BLAS-1 tail."""
+        from repro.kernels import get_backend
+        k = get_backend(backend) if isinstance(backend, str) else backend
+        if k.name == self.kernels.name:
+            return self
+        return DistributedOperator3D(kx=self.kx, ky=self.ky, kz=self.kz,
+                                     comm=self.comm,
+                                     exchanger=self.exchanger,
+                                     events=self.events, kernels=k)
+
     def diagonal(self) -> np.ndarray:
         zz, yy, xx = self.kx.region(0)
         z0, z1, y0, y1, x0, x1 = zz.start, zz.stop, yy.start, yy.stop, \
@@ -166,10 +203,12 @@ class DistributedOperator3D:
     # -- global reductions ----------------------------------------------------------
 
     def dot(self, a: Field3D, b: Field3D) -> float:
-        return float(self.comm.allreduce(a.local_dot(b)))
+        return float(self.comm.allreduce(
+            self.kernels.dot(a.interior, b.interior)))
 
     def dots(self, pairs) -> tuple[float, ...]:
-        local = np.array([a.local_dot(b) for a, b in pairs])
+        local = np.array([self.kernels.dot(a.interior, b.interior)
+                          for a, b in pairs])
         out = self.comm.allreduce(local)
         return tuple(float(v) for v in out)
 

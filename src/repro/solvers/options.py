@@ -13,6 +13,7 @@ from repro.utils.validation import check_in, check_positive, require
 SOLVERS = ("jacobi", "cg", "cg_fused", "dcg", "chebyshev", "ppcg", "mgcg")
 PRECONDITIONERS = ("none", "diagonal", "block_jacobi")
 WORKING_DTYPES = ("float32", "float64")
+KERNEL_BACKENDS = ("numpy", "fused", "numba")
 
 
 @dataclass(frozen=True)
@@ -135,6 +136,12 @@ class SolverOptions:
     #: Compute the true residual ``b - A x`` once after the solve (under
     #: the replacement event scope) and attach it to the result.
     true_residual: bool = False
+    #: Kernel backend (:mod:`repro.kernels`) the solve's hot paths route
+    #: through (TeaLeaf deck key ``tl_kernel_backend``).  ``numpy`` is
+    #: the baseline; ``fused`` is loop-fused + cache-blocked; ``numba``
+    #: requires the optional numba extra (availability is checked at
+    #: solve time, so an options object naming it stays constructible).
+    kernel_backend: str = "numpy"
 
     def __post_init__(self):
         check_in("solver", self.solver, SOLVERS)
@@ -185,6 +192,7 @@ class SolverOptions:
             "rank rebuilds its subdomain from the on-disk shards",
         )
         check_in("dtype", self.dtype, WORKING_DTYPES)
+        check_in("kernel_backend", self.kernel_backend, KERNEL_BACKENDS)
         check_positive("refine_max_steps", self.refine_max_steps)
         require(0.0 < self.refine_stagnation < 1.0,
                 f"refine_stagnation must be in (0, 1), "

@@ -308,7 +308,7 @@ def _copy_real_solver(tmp_path: Path, inject: bool) -> Path:
     (d / "operator.py").write_text((SRC / "solvers/operator.py").read_text())
     src = (SRC / "solvers/cg.py").read_text()
     if inject:
-        marker = "            (pw,) = op.dots([(p, w)])"
+        marker = "            pw = op.apply_dot(p, w)"
         assert marker in src
         src = src.replace(
             marker, marker + "\n            op.comm.allreduce(0.0)")

@@ -1,0 +1,300 @@
+"""Kernel-equivalence battery: every backend vs the ``numpy`` baseline.
+
+The numerical policy under test (``docs/kernels.md``, ``repro.kernels.base``):
+
+- **fp-order-preserving kernels** (``stencil_apply``, ``axpy``, the field
+  updates of ``apply_axpy_dot``, ``pack_halo``/``unpack_halo``) must match
+  the baseline **bit for bit** for every dtype, shape and halo depth;
+- **reductions** (``dot``, ``norm``, the scalars of ``apply_dot`` /
+  ``apply_axpy_dot``) may reassociate and must agree within the documented
+  bound ``reduction_tolerance`` (= 64 * eps(dtype) * sum|a_i b_i|).
+
+Both halves run differentially over a dtype x mesh-shape x halo-depth
+grid — including 1-cell-wide tiles, non-square regions and a multi-block
+shape large enough to force the fused backend through its cache-blocked
+path — for every registered backend.  A full-solve differential then
+proves ``kernel_backend="fused"`` reproduces the baseline's iteration
+count and true relative residual for all eight COMM_CONTRACT solver
+configurations.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    DEFAULT_BACKEND,
+    KNOWN_BACKENDS,
+    available_backends,
+    backend_status,
+    get_backend,
+    reduction_tolerance,
+)
+from repro.mesh import Field
+from repro.solvers import SolverOptions, solve_linear
+from repro.testing import crooked_pipe_system, serial_operator
+from repro.utils.errors import ConfigurationError
+
+BASELINE = get_backend("numpy")
+
+#: Every registered non-baseline backend is tested; a backend that cannot
+#: be imported (numba absent) is skipped by not appearing here.
+OTHERS = [n for n in available_backends() if n != "numpy"]
+
+#: Interior shapes: square, non-square both ways, 1-cell-wide tiles both
+#: ways, and one shape whose working set exceeds the fused backend's
+#: 1 MiB block budget (so the multi-block path is exercised, not just the
+#: single-block fast path).
+SHAPES = [(13, 7), (7, 13), (1, 9), (9, 1), (257, 129)]
+HALOS = [1, 2, 3]
+DTYPES = ["float32", "float64"]
+
+
+def _system(shape, halo, dtype):
+    """Random padded arrays (kx, ky, p, y) for one kernel-level case."""
+    ny, nx = shape
+    rng = np.random.default_rng(20170905 + 1000 * ny + 10 * nx + halo)
+    dt = np.dtype(dtype)
+    pad = (ny + 2 * halo, nx + 2 * halo)
+    kx = rng.uniform(0.1, 2.0, size=pad).astype(dt)
+    ky = rng.uniform(0.1, 2.0, size=pad).astype(dt)
+    p = rng.standard_normal(pad).astype(dt)
+    y = rng.standard_normal(pad).astype(dt)
+    return kx, ky, p, y
+
+
+def _bound_sets(shape, halo):
+    """Loop-bound tuples to cover: the interior, and (when the halo is
+    deep enough) the grown region a matrix-powers step computes."""
+    ny, nx = shape
+    bounds = [(halo, halo + ny, halo, halo + nx)]
+    if halo > 1:
+        ext = halo - 1
+        bounds.append((halo - ext, halo + ny + ext,
+                       halo - ext, halo + nx + ext))
+    return bounds
+
+
+def _grid_cases():
+    for shape in SHAPES:
+        for halo in HALOS:
+            for dtype in DTYPES:
+                yield pytest.param(shape, halo, dtype,
+                                   id=f"{shape[0]}x{shape[1]}-h{halo}-{dtype}")
+
+
+GRID = list(_grid_cases())
+
+
+@pytest.mark.parametrize("backend", OTHERS)
+@pytest.mark.parametrize("shape,halo,dtype", GRID)
+class TestKernelGrid:
+    """Differential battery over the dtype x shape x halo grid."""
+
+    def test_stencil_apply_bitwise(self, shape, halo, dtype, backend):
+        kx, ky, p, _ = _system(shape, halo, dtype)
+        k = get_backend(backend)
+        for r0, r1, c0, c1 in _bound_sets(shape, halo):
+            ref = np.zeros_like(p)
+            out = np.zeros_like(p)
+            BASELINE.stencil_apply(kx, ky, p, ref, r0, r1, c0, c1)
+            k.stencil_apply(kx, ky, p, out, r0, r1, c0, c1)
+            assert out.dtype == ref.dtype
+            assert np.array_equal(out, ref), \
+                f"stencil_apply[{backend}] drifted from baseline bits"
+
+    def test_apply_dot_field_bitwise_scalar_bounded(self, shape, halo,
+                                                    dtype, backend):
+        kx, ky, p, _ = _system(shape, halo, dtype)
+        k = get_backend(backend)
+        for r0, r1, c0, c1 in _bound_sets(shape, halo):
+            ref = np.zeros_like(p)
+            out = np.zeros_like(p)
+            d_ref = BASELINE.apply_dot(kx, ky, p, ref, r0, r1, c0, c1)
+            d = k.apply_dot(kx, ky, p, out, r0, r1, c0, c1)
+            assert np.array_equal(out, ref)
+            tol = reduction_tolerance(p[r0:r1, c0:c1], ref[r0:r1, c0:c1])
+            assert abs(d - d_ref) <= tol, \
+                f"apply_dot[{backend}] scalar outside the documented bound"
+
+    def test_apply_axpy_dot_updates_bitwise_scalar_bounded(
+            self, shape, halo, dtype, backend):
+        kx, ky, p, y = _system(shape, halo, dtype)
+        k = get_backend(backend)
+        alpha = -1.0  # the Jacobi residual chain: y = b - A p
+        for r0, r1, c0, c1 in _bound_sets(shape, halo):
+            ref_out, ref_y = np.zeros_like(p), y.copy()
+            out, yw = np.zeros_like(p), y.copy()
+            d_ref = BASELINE.apply_axpy_dot(kx, ky, p, ref_out, ref_y,
+                                            alpha, r0, r1, c0, c1)
+            d = k.apply_axpy_dot(kx, ky, p, out, yw, alpha, r0, r1, c0, c1)
+            assert np.array_equal(out, ref_out)
+            assert np.array_equal(yw, ref_y), \
+                f"apply_axpy_dot[{backend}] y-update drifted from baseline"
+            yr = ref_y[r0:r1, c0:c1]
+            assert abs(d - d_ref) <= reduction_tolerance(yr, yr)
+
+    def test_dot_within_reduction_bound(self, shape, halo, dtype, backend):
+        _, _, p, y = _system(shape, halo, dtype)
+        ny, nx = shape
+        a = p[halo:halo + ny, halo:halo + nx]
+        b = y[halo:halo + ny, halo:halo + nx]
+        d_ref = BASELINE.dot(a, b)
+        d = get_backend(backend).dot(a, b)
+        assert abs(d - d_ref) <= reduction_tolerance(a, b)
+
+    def test_norm_within_reduction_bound(self, shape, halo, dtype, backend):
+        _, _, p, _ = _system(shape, halo, dtype)
+        ny, nx = shape
+        a = p[halo:halo + ny, halo:halo + nx]
+        n_ref = BASELINE.norm(a)
+        n = get_backend(backend).norm(a)
+        # norm = sqrt(<a,a>); compare the squares against the dot bound.
+        assert abs(n * n - n_ref * n_ref) <= reduction_tolerance(a, a)
+
+    def test_axpy_bitwise(self, shape, halo, dtype, backend):
+        _, _, p, y = _system(shape, halo, dtype)
+        ny, nx = shape
+        x = p[halo:halo + ny, halo:halo + nx]
+        for alpha in (0.75, -0.75, 1.0, -1.0):
+            ref = y.copy()
+            yw = y.copy()
+            BASELINE.axpy(ref[halo:halo + ny, halo:halo + nx], alpha, x)
+            get_backend(backend).axpy(
+                yw[halo:halo + ny, halo:halo + nx], alpha, x)
+            assert np.array_equal(yw, ref), \
+                f"axpy[{backend}] alpha={alpha} drifted from baseline bits"
+
+    def test_pack_unpack_halo_bitwise(self, shape, halo, dtype, backend):
+        _, _, p, y = _system(shape, halo, dtype)
+        ny, nx = shape
+        k = get_backend(backend)
+        # Every face a halo exchange packs: row bands and column bands.
+        faces = [(slice(halo, 2 * halo), slice(halo, halo + nx)),
+                 (slice(ny, ny + halo), slice(halo, halo + nx)),
+                 (slice(halo, halo + ny), slice(halo, 2 * halo)),
+                 (slice(halo, halo + ny), slice(nx, nx + halo))]
+        for rows, cols in faces:
+            ref = BASELINE.pack_halo(p, rows, cols)
+            buf = k.pack_halo(p, rows, cols)
+            assert buf.flags["C_CONTIGUOUS"]
+            assert buf.dtype == ref.dtype
+            assert np.array_equal(buf, ref)
+            a_ref, a = y.copy(), y.copy()
+            BASELINE.unpack_halo(a_ref, rows, cols, ref)
+            k.unpack_halo(a, rows, cols, buf)
+            assert np.array_equal(a, a_ref)
+
+
+# -- full-solve differential: the eight COMM_CONTRACT configurations -----------
+
+#: Mirrors ``repro.analysis.verify.default_specs`` — same solver family,
+#: same matrix-powers depths, same deflation blocking.
+SOLVE_CONFIGS = [
+    ("cg", SolverOptions(solver="cg", eps=1e-8, max_iters=500)),
+    ("cg_fused", SolverOptions(solver="cg_fused", eps=1e-8, max_iters=500)),
+    ("jacobi", SolverOptions(solver="jacobi", eps=1e-8, max_iters=300)),
+    ("chebyshev", SolverOptions(solver="chebyshev", eps=1e-8, max_iters=500,
+                                eigen_warmup_iters=8, check_interval=10)),
+    ("chebyshev-depth4", SolverOptions(solver="chebyshev", eps=1e-8,
+                                       max_iters=500, eigen_warmup_iters=8,
+                                       check_interval=10, halo_depth=4)),
+    ("ppcg", SolverOptions(solver="ppcg", eps=1e-8, max_iters=200,
+                           ppcg_inner_steps=4, eigen_warmup_iters=8)),
+    ("ppcg-depth4", SolverOptions(solver="ppcg", eps=1e-8, max_iters=200,
+                                  ppcg_inner_steps=8, halo_depth=4,
+                                  eigen_warmup_iters=8)),
+    ("dcg", SolverOptions(solver="dcg", eps=1e-8, max_iters=500,
+                          deflation_blocks=(2, 2))),
+]
+
+
+@pytest.mark.parametrize("backend", OTHERS)
+@pytest.mark.parametrize("label,opt", SOLVE_CONFIGS,
+                         ids=[name for name, _ in SOLVE_CONFIGS])
+def test_full_solve_differential(label, opt, backend):
+    """Routed solves reproduce the baseline's convergence trajectory.
+
+    Same iteration counts (outer and inner) and — measured through the
+    backend-neutral true-residual referee — the same relative residual to
+    well below the solve tolerance.
+    """
+    grid, kxg, kyg, bg = crooked_pipe_system(16)
+    results = {}
+    for name in ("numpy", backend):
+        o = replace(opt, kernel_backend=name, true_residual=True)
+        op = serial_operator(grid, kxg, kyg, halo=o.required_field_halo)
+        b = Field.from_global(op.tile, op.halo, bg)
+        results[name] = solve_linear(op, b, options=o)
+    ref, alt = results["numpy"], results[backend]
+    assert alt.converged == ref.converged
+    assert alt.iterations == ref.iterations, \
+        f"{label}[{backend}] changed the iteration count"
+    assert alt.inner_iterations == ref.inner_iterations
+    assert ref.true_relative_residual is not None
+    assert alt.true_relative_residual == pytest.approx(
+        ref.true_relative_residual, rel=1e-6, abs=1e-14)
+
+
+# -- registry, options and deck plumbing ---------------------------------------
+
+
+class TestRegistry:
+    def test_known_and_available(self):
+        assert DEFAULT_BACKEND == "numpy"
+        assert set(available_backends()) <= set(KNOWN_BACKENDS)
+        assert {"numpy", "fused"} <= set(available_backends())
+
+    def test_backend_status_reports_every_known_backend(self):
+        status = backend_status()
+        assert set(status) == set(KNOWN_BACKENDS)
+        assert status["numpy"] == "" and status["fused"] == ""
+        for name in available_backends():
+            assert status[name] == ""
+            assert get_backend(name).name == name
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel backend"):
+            get_backend("cuda")
+
+    @pytest.mark.skipif("numba" in available_backends(),
+                        reason="numba installed in this environment")
+    def test_unavailable_numba_raises_with_install_hint(self):
+        status = backend_status()
+        assert "numba" in status["numba"]
+        with pytest.raises(ConfigurationError, match="numba"):
+            get_backend("numba")
+
+    def test_reduction_tolerance_scales_with_dtype(self):
+        rng = np.random.default_rng(7)
+        a64 = rng.standard_normal(1000)
+        b64 = rng.standard_normal(1000)
+        t32 = reduction_tolerance(a64.astype(np.float32),
+                                  b64.astype(np.float32))
+        t64 = reduction_tolerance(a64, b64)
+        assert 0 < t64 < t32  # wider envelope in the coarser dtype
+
+
+class TestOptionsAndDeck:
+    def test_options_accept_known_backends(self):
+        for name in KNOWN_BACKENDS:
+            # Unavailable backends stay constructible: availability is
+            # checked at solve time, not at options-validation time.
+            assert SolverOptions(kernel_backend=name).kernel_backend == name
+
+    def test_options_reject_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            SolverOptions(kernel_backend="cuda")
+
+    def test_deck_key_roundtrip(self):
+        from repro.physics.deck import parse_deck_text
+        deck = parse_deck_text("tl_kernel_backend=fused")
+        assert deck.tl_kernel_backend == "fused"
+        assert parse_deck_text("").tl_kernel_backend == "numpy"
+
+    def test_deck_key_rejects_unknown_backend(self):
+        from repro.physics.deck import parse_deck_text
+        with pytest.raises(ConfigurationError,
+                           match="unknown tl_kernel_backend"):
+            parse_deck_text("tl_kernel_backend=cuda")
