@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench report figures examples trace lint verify-contracts resilience restart-demo stability sanitize chaos soak clean
+.PHONY: install test test-fast bench bench-compare report figures examples trace lint verify-contracts resilience restart-demo stability sanitize chaos soak serve serve-demo clean
 
 install:
 	pip install -e .
@@ -26,6 +26,17 @@ test-fast:
 bench:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main bench --out results/bench
 
+# Perf regression gate: quick fresh run, then diff its solver cases
+# against the committed BENCH_8.json pin (kernel grids differ by design
+# between quick and full suites; only overlapping cases are compared).
+# Exits non-zero when any case regresses past the threshold.
+bench-compare:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main bench --quick \
+	    --out results/bench-compare --pr 1
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main bench \
+	    --compare BENCH_8.json results/bench-compare/BENCH_1.json \
+	    --threshold 2.5
+
 report:
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main report --out results
 
@@ -36,6 +47,7 @@ examples:
 	$(PYTHONPATH_SRC) $(PYTHON) examples/communication_avoiding.py
 	$(PYTHONPATH_SRC) $(PYTHON) examples/fault_tolerance.py
 	$(PYTHONPATH_SRC) $(PYTHON) examples/scaling_study.py
+	$(PYTHONPATH_SRC) $(PYTHON) examples/service_demo.py
 
 # Observability: trace the crooked-pipe CPPCG solve and write
 # results/trace/trace.jsonl + trace.chrome.json (open the latter in
@@ -130,6 +142,25 @@ soak:
 	@rm -rf results/soak
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.harness.soak \
 	    --cycles 3 --ranks 2 --out results/soak
+
+# Multi-tenant solve service (docs/service.md): deterministic virtual-
+# clock load sweep — mixed tenants/solvers/deadlines/cancels under a
+# seeded chaos storm, every request ending in a classified terminal
+# status and every served solution checked against the differential
+# oracle.  Writes results/service/SERVICE_<n>.json; exits non-zero on
+# any SLO or oracle violation.
+serve:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main serve \
+	    --requests 200 --out results/service
+
+# Self-checking service demo: a short sweep (the determinism, zero-hang
+# and classification gates all enforced by its exit code) plus the
+# real-time asyncio front-end smoke.
+serve-demo:
+	@rm -rf results/serve-demo
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main serve \
+	    --requests 60 --out results/serve-demo
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main serve --demo
 
 clean:
 	rm -rf results .pytest_cache src/repro.egg-info

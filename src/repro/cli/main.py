@@ -38,6 +38,7 @@ def _cmd_tealeaf(args) -> int:
         replace_interval=deck.tl_replace_interval,
         true_residual=deck.tl_check_true_residual,
         kernel_backend=deck.tl_kernel_backend,
+        comm_timeout=args.comm_timeout or deck.tl_comm_timeout,
     )
     n_steps = args.steps if args.steps else deck.n_steps
     report = run_simulation(
@@ -123,6 +124,7 @@ def _cmd_solve(args) -> int:
         replace_interval=deck.tl_replace_interval,
         true_residual=args.true_residual or deck.tl_check_true_residual,
         kernel_backend=args.kernel_backend or deck.tl_kernel_backend,
+        comm_timeout=args.comm_timeout or deck.tl_comm_timeout,
     )
     grid = deck.grid
     density, _, u0 = global_initial_state(grid, deck_to_problem(deck))
@@ -141,7 +143,10 @@ def _cmd_solve(args) -> int:
         result = solve_linear(op, b, options=options)
         return result, log
 
-    result, log = launch_spmd(rank_main, args.ranks)[0]
+    result, log = launch_spmd(
+        rank_main, args.ranks,
+        recv_timeout=options.comm_timeout if options.comm_timeout > 0
+        else None)[0]
     print(result.summary())
     print(f"matvecs={log.count('matvec')} "
           f"reductions={log.count_kind('allreduce')} "
@@ -236,6 +241,9 @@ def _cmd_soak(args) -> int:
 def _cmd_bench(args) -> int:
     """Pinned kernel + whole-solver microbenchmark suite."""
     from repro.harness.bench import main as bench_main
+    if args.compare:
+        return bench_main(["--compare", *args.compare,
+                           "--threshold", str(args.threshold)])
     argv = ["--out", args.out, "--pr", str(args.pr),
             "--repeats", str(args.repeats)]
     if args.quick:
@@ -243,6 +251,49 @@ def _cmd_bench(args) -> int:
     if args.backends:
         argv += ["--backends", args.backends]
     return bench_main(argv)
+
+
+def _cmd_serve(args) -> int:
+    """Multi-tenant solve service: load sweep or interactive demo."""
+    if args.demo:
+        import asyncio
+        return asyncio.run(_serve_demo())
+    from repro.harness.service_sweep import main as sweep_main
+    argv = ["--seed", str(args.seed), "--requests", str(args.requests),
+            "--workers", str(args.workers),
+            "--group-size", str(args.group_size), "--out", args.out]
+    if args.no_chaos:
+        argv.append("--no-chaos")
+    if args.index >= 0:
+        argv += ["--index", str(args.index)]
+    return sweep_main(argv)
+
+
+async def _serve_demo() -> int:
+    """Tiny real-time front-end demo: mixed outcomes from one gather."""
+    import asyncio
+
+    from repro.physics.deck import CROOKED_PIPE_DECK
+    from repro.service import SolveService
+
+    deck = CROOKED_PIPE_DECK.format(n=12)
+    with SolveService(workers=2, quota_rate=50.0, quota_burst=4.0) as svc:
+        jobs = [svc.submit(deck, tenant="demo", n=12)
+                for _ in range(3)]
+        jobs.append(svc.submit(deck, tenant="demo", n=12,
+                               deadline_s=1e-4))
+        jobs.append(svc.submit("*tea\nbogus=1\n*endtea\n", tenant="demo"))
+        outcomes = await asyncio.gather(*jobs)
+    for o in outcomes:
+        extra = f" [{o.error_class}]" if o.error_class else ""
+        print(f"  {o.request_id} {o.status:<17} solver={o.solver or '-':<9} "
+              f"iters={o.iterations:<4} {o.latency_s * 1e3:7.1f} ms{extra}")
+    statuses = {o.status for o in outcomes}
+    ok = statuses <= {"completed", "degraded", "deadline_exceeded",
+                      "failed", "shed"} and \
+        any(s in ("completed", "degraded") for s in statuses)
+    print(f"  demo {'PASS' if ok else 'FAIL'}: statuses={sorted(statuses)}")
+    return 0 if ok else 1
 
 
 def _cmd_report(args) -> int:
@@ -278,6 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tea.add_argument("--checkpoint-interval", type=int, default=0,
                        help="checkpoint every N completed steps "
                             "(overrides the deck's tl_checkpoint_interval)")
+    p_tea.add_argument("--comm-timeout", type=float, default=0.0,
+                       help="per-attempt receive timeout in seconds "
+                            "(deck: tl_comm_timeout; 0: library default)")
     p_tea.set_defaults(func=_cmd_tealeaf)
 
     p_restart = sub.add_parser(
@@ -316,6 +370,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["", "numpy", "fused", "numba"],
                          help="kernel backend for the hot paths "
                               "(deck: tl_kernel_backend)")
+    p_solve.add_argument("--comm-timeout", type=float, default=0.0,
+                         help="per-attempt receive timeout in seconds "
+                              "(deck: tl_comm_timeout; 0: library default)")
     p_solve.set_defaults(func=_cmd_solve)
 
     p_trace = sub.add_parser(
@@ -376,7 +433,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--backends", default="",
                          help="comma-separated backend subset "
                               "(default: all available)")
+    p_bench.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                         help="compare two ledgers (exit 1 on regression) "
+                              "instead of running the suite")
+    p_bench.add_argument("--threshold", type=float, default=1.25,
+                         help="regression ratio for --compare")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="multi-tenant solve service: deterministic load "
+                      "sweep -> SERVICE_<n>.json (or --demo)")
+    p_serve.add_argument("--seed", type=int, default=20170905)
+    p_serve.add_argument("--requests", type=int, default=200)
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument("--group-size", type=int, default=2,
+                         help="SPMD ranks per worker group")
+    p_serve.add_argument("--no-chaos", action="store_true",
+                         help="disable fault storms / crashes")
+    p_serve.add_argument("--out", default="results/service",
+                         help="directory for SERVICE_<n>.json")
+    p_serve.add_argument("--index", type=int, default=-1,
+                         help="pin the ledger index (-1: next free slot)")
+    p_serve.add_argument("--demo", action="store_true",
+                         help="run the asyncio front-end demo instead")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_rep = sub.add_parser("report", help="write all figures/tables to a directory")
     p_rep.add_argument("--out", default="results")

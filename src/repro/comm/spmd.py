@@ -20,6 +20,7 @@ def launch_spmd(
     fn: Callable,
     size: int,
     rank_args: Sequence[tuple] | None = None,
+    recv_timeout: float | None = None,
 ) -> list:
     """Execute ``fn(comm, *args)`` on every rank of a ``size``-rank world.
 
@@ -34,6 +35,10 @@ def launch_spmd(
         debuggable.
     rank_args:
         Optional per-rank argument tuples (length ``size``).
+    recv_timeout:
+        World-level deadlock-guard timeout in seconds (``None`` keeps the
+        :data:`~repro.comm.threaded._RECV_TIMEOUT_S` default).  This is
+        the ``tl_comm_timeout`` deck knob's landing point.
 
     Returns
     -------
@@ -49,7 +54,8 @@ def launch_spmd(
     if size == 1:
         return [fn(SerialComm(), *rank_args[0])]
 
-    world = ThreadWorld(size)
+    world = (ThreadWorld(size) if recv_timeout is None
+             else ThreadWorld(size, recv_timeout_s=recv_timeout))
     results: list = [None] * size
     failures: list[tuple[int, BaseException]] = []
     failures_lock = threading.Lock()

@@ -48,12 +48,24 @@ _RECV_TIMEOUT_S = 120.0
 
 
 class ThreadWorld:
-    """Shared state for a world of ``size`` thread ranks."""
+    """Shared state for a world of ``size`` thread ranks.
 
-    def __init__(self, size: int):
+    ``recv_timeout_s`` is the world-level deadlock guard: the default
+    receive/collective wait bound when the caller passes no explicit
+    per-operation timeout.  It used to be the hardcoded
+    :data:`_RECV_TIMEOUT_S`; the deck key ``tl_comm_timeout`` / CLI
+    ``--comm-timeout`` now reach it through
+    :func:`~repro.comm.spmd.launch_spmd`.
+    """
+
+    def __init__(self, size: int, recv_timeout_s: float = _RECV_TIMEOUT_S):
         if size < 1:
             raise CommunicationError(f"world size must be >= 1, got {size}")
+        if recv_timeout_s <= 0:
+            raise CommunicationError(
+                f"recv_timeout_s must be > 0, got {recv_timeout_s}")
         self.size = size
+        self.recv_timeout_s = recv_timeout_s
         self._mailbox_lock = threading.Lock()
         self._mailboxes: dict[tuple[int, int, int], deque] = {}
         self._mailbox_cv = threading.Condition(self._mailbox_lock)
@@ -93,7 +105,7 @@ class ThreadWorld:
     def _collect(self, src: int, dst: int, tag: int,
                  timeout: float | None = None):
         key = (src, dst, tag)
-        deadline = _RECV_TIMEOUT_S if timeout is None else timeout
+        deadline = self.recv_timeout_s if timeout is None else timeout
         why = ("probable deadlock" if timeout is None
                else "dead peer or dropped message")
         with self._mailbox_cv:
@@ -108,7 +120,7 @@ class ThreadWorld:
                 if deadline <= 0:
                     raise CommunicationError(
                         f"receive timeout after "
-                        f"{_RECV_TIMEOUT_S if timeout is None else timeout}s: "
+                        f"{self.recv_timeout_s if timeout is None else timeout}s: "
                         f"rank {dst} awaiting src={src} tag={tag} — {why}")
                 self._mailbox_cv.wait(_POLL_S)
                 deadline -= _POLL_S
@@ -126,7 +138,7 @@ class ThreadWorld:
             self._arrivals[rank] += 1
             gen = self._arrivals[rank]
             self._sync_cv.notify_all()
-            deadline = _RECV_TIMEOUT_S
+            deadline = self.recv_timeout_s
             while True:
                 if all(a >= gen for a in self._arrivals):
                     return
@@ -135,7 +147,7 @@ class ThreadWorld:
                         "world aborted during a collective")
                 if deadline <= 0:
                     raise CommunicationError(
-                        f"collective timeout after {_RECV_TIMEOUT_S}s: "
+                        f"collective timeout after {self.recv_timeout_s}s: "
                         f"rank {rank} at sync generation {gen} — "
                         f"probable deadlock")
                 self._sync_cv.wait(_POLL_S)

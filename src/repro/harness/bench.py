@@ -300,11 +300,80 @@ def fused_speedups(ledger: dict, kernel: str = "apply_axpy_dot") -> dict:
             if "fused" in r and "numpy" in r and r["numpy"] > 0}
 
 
+def case_key(case: dict) -> tuple:
+    """Identity of a case across ledgers (timing-independent fields)."""
+    return (case["kind"], case.get("kernel") or case.get("solver"),
+            case["backend"], case["dtype"], case["n"])
+
+
+def compare_ledgers(old: dict, new: dict,
+                    threshold: float = 1.25) -> dict:
+    """Diff two ledgers' best wall times; flag regressions over threshold.
+
+    A case regresses when ``new_wall_s_min > old_wall_s_min * threshold``
+    (the default tolerates 25% machine noise — raise it on shared CI
+    runners).  Cases present in only one ledger are reported but do not
+    fail the comparison; a changed case *list* is a suite change, not a
+    perf regression.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+    old_cases = {case_key(c): c for c in old["cases"]}
+    new_cases = {case_key(c): c for c in new["cases"]}
+    rows = []
+    regressions = []
+    for key in sorted(old_cases.keys() & new_cases.keys()):
+        t_old = old_cases[key]["timing"]["wall_s_min"]
+        t_new = new_cases[key]["timing"]["wall_s_min"]
+        ratio = (t_new / t_old) if t_old > 0 else float("inf")
+        row = {"key": list(key), "old_wall_s": t_old, "new_wall_s": t_new,
+               "ratio": ratio, "regressed": ratio > threshold}
+        rows.append(row)
+        if row["regressed"]:
+            regressions.append(row)
+    return {
+        "threshold": threshold,
+        "compared": len(rows),
+        "only_old": sorted(map(list, old_cases.keys() - new_cases.keys())),
+        "only_new": sorted(map(list, new_cases.keys() - old_cases.keys())),
+        "rows": rows,
+        "regressions": regressions,
+        "passed": not regressions,
+    }
+
+
+def render_comparison(report: dict) -> str:
+    """Human-readable regression table."""
+    lines = [f"== bench compare: {report['compared']} cases, "
+             f"threshold {report['threshold']:.2f}x =="]
+    lines.append(f"  {'case':<44} {'old_ms':>9} {'new_ms':>9} {'ratio':>7}")
+    for row in report["rows"]:
+        kind, name, backend, dtype, n = row["key"]
+        label = f"{name}[{backend}] {dtype} n={n}"
+        mark = "  REGRESSED" if row["regressed"] else ""
+        lines.append(
+            f"  {label:<44} {row['old_wall_s'] * 1e3:>9.3f} "
+            f"{row['new_wall_s'] * 1e3:>9.3f} {row['ratio']:>6.2f}x{mark}")
+    for key in report["only_old"]:
+        lines.append(f"  only in old ledger: {key}")
+    for key in report["only_new"]:
+        lines.append(f"  only in new ledger: {key}")
+    lines.append(f"  {'PASS' if report['passed'] else 'FAIL'}: "
+                 f"{len(report['regressions'])} regression(s)")
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
         description="pinned kernel + solver microbenchmarks -> BENCH_<n>.json")
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                        help="compare two existing ledgers instead of "
+                             "running the suite; exits 1 on regression")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="wall-time ratio above which a compared case "
+                             "counts as a regression (default 1.25)")
     parser.add_argument("--out", default="results/bench")
     parser.add_argument("--pr", type=int, default=0,
                         help="ledger index (0: next free slot)")
@@ -315,6 +384,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backends", default="",
                         help="comma-separated subset (default: all available)")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        old_path, new_path = args.compare
+        old = json.loads(Path(old_path).read_text(encoding="utf-8"))
+        new = json.loads(Path(new_path).read_text(encoding="utf-8"))
+        report = compare_ledgers(old, new, threshold=args.threshold)
+        print(render_comparison(report))
+        return 0 if report["passed"] else 1
 
     backends = ([s for s in args.backends.split(",") if s]
                 if args.backends else None)

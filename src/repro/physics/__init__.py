@@ -23,7 +23,13 @@ from repro.physics.problems import (
     hot_square,
 )
 from repro.physics.state import build_fields, global_initial_state
-from repro.physics.deck import Deck, parse_deck, parse_deck_text, deck_to_problem
+from repro.physics.deck import (
+    Deck,
+    deck_solver_options,
+    deck_to_problem,
+    parse_deck,
+    parse_deck_text,
+)
 from repro.physics.simulation import Simulation, SimulationReport, run_simulation
 from repro.physics.simulation3d import (
     BoxRegion3D,
@@ -53,6 +59,7 @@ __all__ = [
     "parse_deck",
     "parse_deck_text",
     "deck_to_problem",
+    "deck_solver_options",
     "Simulation",
     "SimulationReport",
     "run_simulation",

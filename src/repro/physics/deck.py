@@ -90,6 +90,7 @@ class Deck:
     tl_working_dtype: str = "float64"
     tl_kernel_backend: str = "numpy"
     tl_replace_interval: int = 0
+    tl_comm_timeout: float = 0.0
     tl_enable_refinement: bool = False
     tl_check_true_residual: bool = False
     summary_frequency: int = 0
@@ -216,6 +217,7 @@ def _apply_setting(deck: Deck, key: str, val: str, lineno: int) -> None:
         "tl_checkpoint_dir": ("tl_checkpoint_dir", str),
         "tl_abft_interval": ("tl_abft_interval", int),
         "tl_replace_interval": ("tl_replace_interval", int),
+        "tl_comm_timeout": ("tl_comm_timeout", float),
         "summary_frequency": ("summary_frequency", int),
         "visit_frequency": ("visit_frequency", int),
     }
@@ -270,6 +272,37 @@ def deck_to_problem(deck: Deck, name: str = "deck") -> ProblemSpec:
     if not deck.states:
         raise ConfigurationError("deck defines no states")
     return ProblemSpec(regions=tuple(deck.states), name=name)
+
+
+def deck_solver_options(deck: Deck):
+    """The :class:`~repro.solvers.options.SolverOptions` a deck selects.
+
+    The canonical ``tl_*`` → options mapping (the same one the
+    ``tealeaf`` CLI applies before its flag overrides); re-runs the full
+    options validation, so an inconsistent deck raises
+    :class:`ConfigurationError` here rather than mid-solve.
+    """
+    from repro.solvers.options import SolverOptions
+    return SolverOptions(
+        solver=deck.solver,
+        eps=deck.tl_eps,
+        max_iters=deck.tl_max_iters,
+        preconditioner=deck.tl_preconditioner_type,
+        ppcg_inner_steps=deck.tl_ppcg_inner_steps,
+        halo_depth=deck.tl_ppcg_halo_depth,
+        eigen_warmup_iters=deck.tl_eigen_warmup_iters,
+        checkpoint_interval=deck.tl_checkpoint_interval,
+        checkpoint_dir=deck.tl_checkpoint_dir,
+        recovery=deck.tl_enable_recovery,
+        integrity=deck.tl_enable_checksums,
+        abft_interval=deck.tl_abft_interval,
+        dtype=deck.tl_working_dtype,
+        refine=deck.tl_enable_refinement,
+        replace_interval=deck.tl_replace_interval,
+        true_residual=deck.tl_check_true_residual,
+        kernel_backend=deck.tl_kernel_backend,
+        comm_timeout=deck.tl_comm_timeout,
+    )
 
 
 #: The paper's crooked-pipe benchmark as deck text (mesh size is a template).

@@ -467,7 +467,9 @@ def run_simulation(
         temp = sim.gather_temperature(root=0) if gather_temperature else None
         return steps, temp, sim.events, sim.tracer
 
-    results = launch_spmd(rank_main, nranks)
+    results = launch_spmd(
+        rank_main, nranks,
+        recv_timeout=opts.comm_timeout if opts.comm_timeout > 0 else None)
     steps0, temp0, events0, _ = results[0]
     tracers = [r[3] for r in results] if tracer_factory is not None else []
     return SimulationReport(grid=grid, dt=dt, steps=steps0,

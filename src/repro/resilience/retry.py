@@ -89,13 +89,22 @@ class RetryingComm(Communicator):
         ``recv``.  With a :class:`~repro.comm.threaded.ThreadComm`
         underneath this turns a dead peer into a
         :class:`CommunicationError` instead of a deadlock.
+    cancel:
+        Optional :class:`~repro.service.cancel.CancelToken`-like object
+        polled between retry attempts.  A client-cancelled request stops
+        burning its retry budget immediately (the poll raises
+        :class:`~repro.utils.errors.Cancelled`, which is *not* a
+        CommunicationError, so it surfaces as the primary failure);
+        deadline budgets are deliberately not fired here — they are a
+        function of the solver's iteration counter, which keeps expiry
+        rank-coherent.
     """
 
     def __init__(self, inner: Communicator, max_attempts: int = 5,
                  base_delay: float = 1e-3, backoff: float = 2.0,
                  clock=None, events: EventLog | None = None,
                  recv_timeout: float | None = None,
-                 max_delay: float = 1.0):
+                 max_delay: float = 1.0, cancel=None):
         if max_attempts < 1:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {max_attempts}")
@@ -111,6 +120,7 @@ class RetryingComm(Communicator):
         self.clock = clock if clock is not None else VirtualClock()
         self.events = events
         self.recv_timeout = recv_timeout
+        self.cancel = cancel
         #: total re-issued attempts across all operations
         self.retries = 0
 
@@ -137,6 +147,11 @@ class RetryingComm(Communicator):
                 # recv timeout raises.
                 if attempt >= self.max_attempts:
                     raise
+                if self.cancel is not None:
+                    # A cancelled request must not burn its retry budget;
+                    # Cancelled is not a CommunicationError, so it wins
+                    # primary-failure selection in launch_spmd.
+                    self.cancel.poll()
                 self.clock.sleep(min(self.base_delay
                                      * self.backoff ** (attempt - 1),
                                      self.max_delay))

@@ -63,7 +63,8 @@ def build_resilient_comm(base: Communicator,
                          cell: IterationCell | None = None,
                          integrity: bool = False,
                          copies: int = 2,
-                         max_delay: float = 1.0) -> ResilientStack:
+                         max_delay: float = 1.0,
+                         cancel=None) -> ResilientStack:
     """Wrap ``base`` in the canonical resilient stack.
 
     The order matters: the instrument layer is outermost so its counts are
@@ -90,7 +91,8 @@ def build_resilient_comm(base: Communicator,
     retrying = RetryingComm(inner, max_attempts=max_attempts,
                             clock=clk, events=log,
                             recv_timeout=recv_timeout,
-                            max_delay=max_delay)
+                            max_delay=max_delay,
+                            cancel=cancel)
     outer = InstrumentedComm(retrying, log)
     return ResilientStack(faulty=faulty, retrying=retrying, comm=outer,
                           clock=clk, cell=it, events=log, checksum=checksum)
@@ -147,7 +149,9 @@ def run_resilient(options: SolverOptions,
                   recv_timeout: float | None = DEFAULT_RECV_TIMEOUT_S,
                   integrity: bool = False,
                   checkpoint_dir=None,
-                  resume: bool = False) -> ResilienceReport:
+                  resume: bool = False,
+                  cancel=None,
+                  setup=None) -> ResilienceReport:
     """Solve the ``n``×``n`` crooked-pipe system through the fault stack.
 
     Builds the benchmark's first-implicit-step system, decomposes it over
@@ -164,17 +168,29 @@ def run_resilient(options: SolverOptions,
     checkpoint to resume from, rebuild ``x0`` from their saved state, and
     refresh halos from their neighbours — the comm traffic of all of
     which lands under :data:`~repro.utils.events.RECOVERY_KIND`.
+
+    ``cancel`` (a :class:`~repro.service.cancel.CancelToken`-like object)
+    is shared by every rank: it is checked at solver iteration
+    boundaries and polled between retry attempts, so a fired token
+    aborts all ranks coherently.  ``setup`` is a
+    :class:`~repro.solvers.driver.SolveSetup` of cached expensive
+    artifacts.  When ``options.comm_timeout`` is positive it overrides
+    the ``recv_timeout`` argument (deck/CLI knob wins over library
+    default).
     """
     from repro.testing import crooked_pipe_system
 
     grid, kxg, kyg, bg = crooked_pipe_system(n)
     halo = options.required_field_halo
+    if options.comm_timeout > 0:
+        recv_timeout = options.comm_timeout
 
     def rank_main(comm):
         stack = build_resilient_comm(comm, plan,
                                      max_attempts=max_attempts,
                                      recv_timeout=recv_timeout,
-                                     integrity=integrity)
+                                     integrity=integrity,
+                                     cancel=cancel)
         tile = decompose(grid, comm.size)[comm.rank]
         op = StencilOperator2D.from_global_faces(tile, halo, kxg, kyg,
                                                  stack.comm,
@@ -225,7 +241,8 @@ def run_resilient(options: SolverOptions,
                         # Neighbour halo refresh: the replacement rank's
                         # reconstructed subdomain gets live boundary data.
                         op.exchanger.exchange([x0], depth=1)
-        result = solve_linear(op, b, x0=x0, options=options, guard=guard)
+        result = solve_linear(op, b, x0=x0, options=options, guard=guard,
+                              cancel=cancel, setup=setup)
         return tile, result, stack, guard, resumed
 
     out = launch_spmd(rank_main, size)

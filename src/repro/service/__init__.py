@@ -1,0 +1,60 @@
+"""repro.service — multi-tenant solve engine.
+
+Turns the solver library into a service: concurrent deck-style solve
+requests with per-request **deadlines** (cooperative, rank-coherent
+cancellation at iteration boundaries), **admission control** (per-tenant
+token buckets, bounded queues, structured load shedding), **circuit
+breakers + hedged retry** over SPMD worker groups,
+**overload-graceful degradation** (solver/depth/backend ladder) and an
+**LRU setup cache** for eigenvalue bounds and block-Jacobi
+factorizations.
+
+Two execution surfaces share these parts:
+
+- :class:`~repro.service.engine.ServiceEngine` — deterministic
+  discrete-event execution on virtual time (capacity planning, chaos
+  validation, the ``SERVICE_<n>.json`` ledgers);
+- :class:`~repro.service.front.SolveService` — an asyncio front-end on
+  real time and a thread pool (``repro serve``, examples).
+"""
+
+from repro.service.breaker import CircuitBreaker
+from repro.service.cache import SetupCache, fingerprint
+from repro.service.cancel import (
+    CancelToken,
+    Cancelled,
+    DeadlineExceeded,
+    ScheduledCancel,
+)
+from repro.service.degrade import LADDER, degrade_for_pressure
+from repro.service.engine import (
+    ServiceConfig,
+    ServiceEngine,
+    iteration_cost_s,
+)
+from repro.service.front import SolveService
+from repro.service.quota import TokenBucket
+from repro.service.requests import STATUSES, RequestOutcome, SolveRequest
+from repro.service.worker import ExecutionResult, WorkerGroup
+
+__all__ = [
+    "CancelToken",
+    "Cancelled",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "ExecutionResult",
+    "LADDER",
+    "RequestOutcome",
+    "STATUSES",
+    "ScheduledCancel",
+    "ServiceConfig",
+    "ServiceEngine",
+    "SetupCache",
+    "SolveRequest",
+    "SolveService",
+    "TokenBucket",
+    "WorkerGroup",
+    "degrade_for_pressure",
+    "fingerprint",
+    "iteration_cost_s",
+]

@@ -1,0 +1,73 @@
+"""Per-worker circuit breaker: closed → open → half-open → closed.
+
+Shields the queue from a worker group that keeps crashing (a fault storm
+concentrated on one group, a wedged runtime): after
+``failure_threshold`` consecutive retryable failures the breaker opens
+and the dispatcher routes around the worker for ``cooldown_s`` virtual
+seconds; the first dispatch after the cooldown is the *probe*
+(half-open) — success re-closes the breaker, failure re-opens it for
+another cooldown.  Driven entirely by caller-supplied virtual
+timestamps, so breaker trajectories are deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker on a virtual clock."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_s: float = 5.0):
+        check_positive("failure_threshold", failure_threshold)
+        check_positive("cooldown_s", cooldown_s)
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.state = CLOSED
+        self._consecutive = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: lifetime statistics
+        self.opened = 0
+        self.reclosed = 0
+
+    def allow(self, now: float) -> bool:
+        """May the dispatcher hand this worker a request at ``now``?"""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self._opened_at >= self.cooldown_s:
+                self.state = HALF_OPEN
+                self._probing = False
+            else:
+                return False
+        # Half-open: exactly one probe in flight at a time.
+        if self._probing:
+            return False
+        return True
+
+    def on_dispatch(self) -> None:
+        """Record that a request was handed over (marks the probe)."""
+        if self.state == HALF_OPEN:
+            self._probing = True
+
+    def record_success(self) -> None:
+        self._consecutive = 0
+        if self.state != CLOSED:
+            self.state = CLOSED
+            self.reclosed += 1
+        self._probing = False
+
+    def record_failure(self, now: float) -> None:
+        self._consecutive += 1
+        self._probing = False
+        if self.state == HALF_OPEN or \
+                self._consecutive >= self.failure_threshold:
+            self.state = OPEN
+            self._opened_at = now
+            self._consecutive = 0
+            self.opened += 1

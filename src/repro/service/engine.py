@@ -1,0 +1,445 @@
+"""Deterministic multi-tenant solve engine.
+
+The engine is a discrete-event scheduler over **virtual time**: requests
+arrive at seeded virtual timestamps, admission control (per-tenant token
+buckets + a bounded queue) sheds overload, and a pool of
+:class:`~repro.service.worker.WorkerGroup` slots executes the solves —
+**real** SPMD solves, run synchronously in event order, whose *virtual*
+duration is charged from a per-iteration cost model plus the resilient
+stack's injected latency.  Because no wall clock is consulted anywhere,
+two same-seed runs produce byte-identical outcome ledgers — which is how
+the service sweep pins hundreds of mixed chaos requests in CI.
+
+Per request the engine provides:
+
+- **deadlines** — converted up front into an iteration budget on a
+  :class:`~repro.service.cancel.CancelToken`, so expiry is a pure
+  function of the iteration counter and rank-coherent;
+- **client cancels** — a ``cancel_after_s`` lands as a
+  :class:`~repro.service.cancel.ScheduledCancel` at the matching
+  iteration boundary;
+- **admission control** — token-bucket quota per tenant, bounded queue,
+  structured shed outcomes;
+- **circuit breaking + hedged retry** — per-worker breakers route
+  around crashing groups; retryable failures re-dispatch with backoff,
+  preferring a *different* worker;
+- **graceful degradation** — queue-pressure watermarks ladder options
+  down (:mod:`repro.service.degrade`);
+- **setup caching** — eigenvalue bounds / block-Jacobi factorizations
+  reused across requests (:mod:`repro.service.cache`).
+
+Every request terminates in exactly one
+:data:`~repro.service.requests.STATUSES` — the engine has no
+"unclassified" exit path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.observe.metrics import MetricsRegistry
+from repro.physics.deck import deck_solver_options, parse_deck_text
+from repro.resilience.chaos import random_fault_plan
+from repro.service.cancel import CancelToken, ScheduledCancel
+from repro.service.cache import SetupCache
+from repro.service.degrade import degrade_for_pressure
+from repro.service.quota import TokenBucket
+from repro.service.requests import RequestOutcome, SolveRequest
+from repro.service.worker import WorkerGroup
+from repro.solvers.driver import SolveSetup
+from repro.solvers.eigen import EigenBounds
+from repro.utils.errors import ConfigurationError
+
+#: Virtual seconds one solver iteration costs per mesh cell.
+_CELL_COST_S = 1e-7
+
+#: Relative per-iteration weight of each outer solver iteration (PPCG
+#: outer iterations run ``inner_steps`` Chebyshev applications, hence the
+#: large factor).
+_SOLVER_WEIGHT = {
+    "jacobi": 0.6,
+    "cg": 1.0,
+    "cg_fused": 0.9,
+    "chebyshev": 1.1,
+    "ppcg": 5.0,
+    "dcg": 1.5,
+    "mgcg": 4.0,
+}
+
+
+def iteration_cost_s(solver: str, n: int) -> float:
+    """Virtual cost of one outer iteration of ``solver`` on an n×n mesh."""
+    return _SOLVER_WEIGHT.get(solver, 1.0) * _CELL_COST_S * n * n
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Engine knobs (all virtual-time)."""
+
+    workers: int = 2
+    group_size: int = 1
+    max_queue: int = 8
+    quota_rate: float = 50.0        #: tokens / virtual second / tenant
+    quota_burst: float = 10.0
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 0.5
+    retry_backoff_s: float = 0.01   #: service-level re-dispatch backoff
+    comm_attempts: int = 5          #: retry budget inside the comm stack
+    degrade_low: float = 0.5        #: queue-pressure watermark → level 1
+    degrade_high: float = 0.8       #: queue-pressure watermark → level 2
+    degrade_enabled: bool = True
+    cache_entries: int = 32
+    cache_enabled: bool = True
+    overhead_s: float = 2e-4        #: fixed dispatch/teardown charge
+    failure_cost_s: float = 0.01    #: virtual charge of a failed attempt
+    chaos_seed: int = 0             #: base seed for per-request fault plans
+
+
+@dataclass
+class _Pending:
+    """One admitted request's mutable dispatch state."""
+
+    req: SolveRequest
+    outcome: RequestOutcome
+    attempts: int = 0
+    last_worker: int = -1
+    options: object = None          #: parsed SolverOptions (lazy)
+    parse_error: BaseException | None = None
+    degrade_steps: list = field(default_factory=list)
+
+
+class ServiceEngine:
+    """Run a batch of requests to terminal outcomes on virtual time."""
+
+    def __init__(self, config: ServiceConfig | None = None, tracer=None):
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.cache = SetupCache(self.config.cache_entries,
+                                metrics=self.metrics)
+        self.workers = [
+            WorkerGroup(i, group_size=self.config.group_size,
+                        max_attempts=self.config.comm_attempts)
+            for i in range(self.config.workers)
+        ]
+        for w in self.workers:
+            w.breaker.failure_threshold = self.config.breaker_threshold
+            w.breaker.cooldown_s = self.config.breaker_cooldown_s
+        self.buckets: dict[str, TokenBucket] = {}
+        self.now = 0.0
+        if tracer is None:
+            from repro.observe.trace import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
+        self._heap: list = []
+        self._seq = 0
+        self._queue: list[_Pending] = []
+        self._outcomes: dict[str, RequestOutcome] = {}
+
+    # -- event plumbing --------------------------------------------------------
+
+    def _push(self, when: float, kind: str, payload) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, self._seq, kind, payload))
+
+    def _count(self, name: str) -> None:
+        self.metrics.counter(f"service.{name}").inc()
+
+    # -- public API ------------------------------------------------------------
+
+    def run(self, requests: list[SolveRequest]) -> list[RequestOutcome]:
+        """Drive every request to a terminal outcome; arrival order out."""
+        ordered = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+        for req in ordered:
+            self._push(req.arrival_s, "arrival", req)
+        while self._heap or self._queue:
+            if not self._heap:
+                # Queue non-empty but nothing scheduled: every worker is
+                # idle behind an open breaker.  Wake at the earliest
+                # cooldown expiry so probes (half-open) drain the queue —
+                # breakers always reopen, so progress is guaranteed.
+                wake = min(w.breaker._opened_at + w.breaker.cooldown_s
+                           for w in self.workers)
+                self._push(max(wake, self.now), "wake", None)
+            when, _, kind, payload = heapq.heappop(self._heap)
+            self.now = when
+            if kind == "arrival":
+                self._admit(payload)
+            elif kind == "complete":
+                self._complete(*payload)
+            elif kind == "retry":
+                self._enqueue(payload)
+            self._dispatch()
+        return [self._outcomes[r.request_id] for r in ordered]
+
+    # -- admission -------------------------------------------------------------
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self.buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.config.quota_rate,
+                                 self.config.quota_burst)
+            self.buckets[tenant] = bucket
+        return bucket
+
+    def _admit(self, req: SolveRequest) -> None:
+        outcome = RequestOutcome(request_id=req.request_id,
+                                 tenant=req.tenant, status="shed",
+                                 arrival_s=req.arrival_s)
+        self._outcomes[req.request_id] = outcome
+        if not self._bucket(req.tenant).try_acquire(self.now):
+            outcome.shed_reason = "quota"
+            outcome.finish_s = self.now
+            self._count("shed.quota")
+            return
+        if len(self._queue) >= self.config.max_queue:
+            outcome.shed_reason = "queue_full"
+            outcome.finish_s = self.now
+            self._count("shed.queue")
+            return
+        self._count("admitted")
+        self._enqueue(_Pending(req=req, outcome=outcome))
+
+    def _enqueue(self, pending: _Pending) -> None:
+        self._queue.append(pending)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def _pick_worker(self, avoid: int) -> WorkerGroup | None:
+        """Lowest-id idle worker whose breaker admits a dispatch.
+
+        Hedged re-dispatch: prefer a worker other than the one that just
+        failed the request, falling back to it only when it is the sole
+        healthy slot.
+        """
+        candidates = [w for w in self.workers
+                      if w.busy_until <= self.now and w.breaker.allow(self.now)]
+        if not candidates:
+            return None
+        preferred = [w for w in candidates if w.wid != avoid]
+        return (preferred or candidates)[0]
+
+    def _pressure_level(self) -> int:
+        if not self.config.degrade_enabled or self.config.max_queue <= 0:
+            return 0
+        pressure = len(self._queue) / self.config.max_queue
+        if pressure >= self.config.degrade_high:
+            return 2
+        if pressure >= self.config.degrade_low:
+            return 1
+        return 0
+
+    def _dispatch(self) -> None:
+        while self._queue:
+            worker = self._pick_worker(avoid=self._queue[0].last_worker)
+            if worker is None:
+                return
+            pending = self._queue.pop(0)
+            self._execute(pending, worker)
+
+    def _parse(self, pending: _Pending) -> bool:
+        """Parse the deck once; False means the request is poison."""
+        if pending.options is not None or pending.parse_error is not None:
+            return pending.parse_error is None
+        try:
+            deck = parse_deck_text(pending.req.deck_text)
+            pending.options = deck_solver_options(deck)
+        except (ConfigurationError, ValueError) as exc:
+            pending.parse_error = exc
+        return pending.parse_error is None
+
+    def _cache_key(self, options, n: int):
+        return (n, self.config.group_size, options.solver,
+                options.preconditioner, options.halo_depth,
+                options.ppcg_inner_steps, options.eigen_warmup_iters,
+                options.eigen_safety, options.dtype)
+
+    def _setup_for(self, options, n: int):
+        """Cache lookup (and eager block-Jacobi build) for this dispatch.
+
+        Returns ``(key, setup, hit)``: ``hit`` is True only when the
+        setup came out of the cache (a freshly built factorization is
+        this request's miss; the requests behind it get the hits).
+        """
+        if not self.config.cache_enabled:
+            return None, None, False
+        if options.solver in ("chebyshev", "ppcg"):
+            key = self._cache_key(options, n)
+            setup = self.cache.get(key)
+            return key, setup, setup is not None
+        if options.solver in ("cg", "cg_fused") \
+                and options.preconditioner == "block_jacobi" \
+                and self.config.group_size == 1:
+            key = self._cache_key(options, n)
+            setup = self.cache.get(key)
+            if setup is not None:
+                return key, setup, True
+            setup = SolveSetup(
+                preconditioner=self._build_preconditioner(options, n))
+            self.cache.put(key, setup)
+            return key, setup, False
+        return None, None, False
+
+    def _build_preconditioner(self, options, n: int):
+        from repro.solvers.preconditioners import make_local_preconditioner
+        from repro.testing import crooked_pipe_system, serial_operator
+        grid, kxg, kyg, _ = crooked_pipe_system(n)
+        op = serial_operator(grid, kxg, kyg,
+                             halo=options.required_field_halo)
+        return make_local_preconditioner(op, options.preconditioner)
+
+    def _execute(self, pending: _Pending, worker: WorkerGroup) -> None:
+        req = pending.req
+        outcome = pending.outcome
+        outcome.status = "failed"   # provisional; every path below overwrites
+        if outcome.start_s < 0:
+            outcome.start_s = self.now
+        pending.attempts += 1
+        outcome.attempts = pending.attempts
+        outcome.worker = worker.wid
+        pending.last_worker = worker.wid
+        worker.breaker.on_dispatch()
+
+        if not self._parse(pending):
+            exc = pending.parse_error
+            self._finish(pending, worker, self.config.overhead_s,
+                         status="failed", error=exc)
+            return
+        options = pending.options
+        outcome.solver = options.solver
+
+        # Pressure-based degradation (sticky across retries: a laddered
+        # request never un-degrades mid-flight).
+        level = self._pressure_level()
+        if level > len(pending.degrade_steps):
+            options, applied = degrade_for_pressure(options, level)
+            pending.options = options
+            pending.degrade_steps = pending.degrade_steps + [
+                s for s in applied if s not in pending.degrade_steps]
+        outcome.solver = options.solver
+        outcome.degrade_steps = list(pending.degrade_steps)
+
+        cost = iteration_cost_s(options.solver, req.n)
+
+        # Deadline → iteration budget (pure function of the counter).
+        token = CancelToken()
+        deadline_abs = None
+        if req.deadline_s is not None:
+            deadline_abs = req.arrival_s + req.deadline_s
+            budget = int((deadline_abs - self.now) / cost)
+            if budget <= 0:
+                self._finish(pending, worker, self.config.overhead_s,
+                             status="deadline_exceeded")
+                return
+            token = CancelToken(iteration_budget=budget,
+                                deadline_s=deadline_abs)
+        cancel = token
+        if req.cancel_after_s is not None:
+            cancel_abs = req.arrival_s + req.cancel_after_s
+            cancel_at = int((cancel_abs - self.now) / cost)
+            if cancel_at <= 0:
+                self._finish(pending, worker, self.config.overhead_s,
+                             status="cancelled")
+                return
+            cancel = ScheduledCancel(token, cancel_at)
+
+        plan = None
+        if req.chaos_trial >= 0:
+            # A fatal crash storm hits the *first* attempt; a re-dispatch
+            # runs on a fresh world after the storm (still under transient
+            # faults), so hedged retries and breaker probes can recover —
+            # the ledger's recovery rate measures exactly this.
+            plan = random_fault_plan(self.config.chaos_seed, req.chaos_trial,
+                                     size=self.config.group_size,
+                                     solver=options.solver,
+                                     max_attempts=self.config.comm_attempts,
+                                     fatal_crash=req.chaos_crash
+                                     and pending.attempts == 1)
+
+        key, setup, cache_hit = self._setup_for(options, req.n)
+        outcome.cache_hit = cache_hit
+
+        with self.tracer.span("request", req.request_id):
+            result = worker.execute(options, req.n, plan=plan,
+                                    cancel=cancel, setup=setup)
+
+        duration = (self.config.overhead_s + result.iterations * cost
+                    + (result.report.virtual_time_s if result.report else 0.0))
+        outcome.iterations = result.iterations
+        if result.report is not None:
+            outcome.retries += result.report.retries
+
+        if result.kind == "ok":
+            if key is not None and setup is None \
+                    and options.solver in ("chebyshev", "ppcg"):
+                self._cache_bounds(key, result.report.result)
+            degraded = bool(pending.degrade_steps) \
+                or bool(result.report and result.report.degraded)
+            status = "degraded" if degraded else "completed"
+            self._finish(pending, worker, duration, status=status,
+                         report=result.report)
+            worker.breaker.record_success()
+            return
+        if result.kind in ("deadline_exceeded", "cancelled"):
+            # The token fired at an iteration boundary, so the charged
+            # duration covers exactly the iterations that ran.
+            self._finish(pending, worker, duration, status=result.kind,
+                         error=result.error)
+            worker.breaker.record_success()   # the worker itself is healthy
+            return
+        if result.kind == "fatal":
+            self._finish(pending, worker, duration + self.config.failure_cost_s,
+                         status="failed", error=result.error)
+            worker.breaker.record_success()   # solve failed, worker fine
+            return
+        # Retryable: comm-level death (crash storm, exhausted retries).
+        self._count("retryable_failures")
+        finish_t = self.now + duration + self.config.failure_cost_s
+        worker.busy_until = finish_t
+        self._push(finish_t, "complete", (worker, None))
+        worker.breaker.record_failure(finish_t)
+        if worker.breaker.state == "open":
+            self._count("breaker.opened")
+        if pending.attempts < req.max_attempts:
+            backoff = self.config.retry_backoff_s * (2 ** (pending.attempts - 1))
+            self._count("redispatches")
+            self._push(finish_t + backoff, "retry", pending)
+        else:
+            outcome.status = "failed"
+            outcome.error_class = result.error_class
+            outcome.error_message = str(result.error)[:200]
+            outcome.finish_s = finish_t
+            self._count("failed")
+
+    def _cache_bounds(self, key, solve_result) -> None:
+        bounds = getattr(solve_result, "eigen_bounds", None)
+        if not bounds:
+            return
+        lam_min, lam_max = bounds
+        try:
+            eb = EigenBounds(lam_min, lam_max)
+        except (ConfigurationError, ValueError):
+            return   # degenerate estimate: not worth poisoning the cache
+        self.cache.put(key, SolveSetup(bounds=eb))
+
+    def _finish(self, pending: _Pending, worker: WorkerGroup,
+                duration: float, *, status: str, error=None,
+                report=None) -> None:
+        outcome = pending.outcome
+        finish_t = self.now + duration
+        outcome.status = status
+        outcome.finish_s = finish_t
+        if error is not None:
+            outcome.error_class = type(error).__name__
+            outcome.error_message = str(error)[:200]
+        if report is not None and report.x is not None:
+            outcome.x = report.x
+        worker.busy_until = finish_t
+        self._push(finish_t, "complete", (worker, None))
+        self._count(status)
+
+    # -- completion ------------------------------------------------------------
+
+    def _complete(self, worker: WorkerGroup, _payload) -> None:
+        if worker.busy_until <= self.now:
+            worker.busy_until = 0.0

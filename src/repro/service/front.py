@@ -1,0 +1,139 @@
+"""Asyncio front-end of the solve service.
+
+:class:`SolveService` accepts concurrent deck-style solve requests from
+coroutines and executes them on a thread pool — each solve is a real
+(optionally SPMD) solve through the resilient stack, with the same
+admission control (token-bucket quota + bounded in-flight window) and
+cooperative cancellation the deterministic engine applies.  Deadlines
+here are *wall-clock*: a timer fires the request's
+:class:`~repro.service.cancel.CancelToken`, and the solver raises at its
+next iteration boundary — same latched-boundary semantics, real time.
+
+This is the interactive face (``repro serve --demo``,
+``examples/service_demo.py``); capacity planning and chaos validation
+run on the virtual-clock :class:`~repro.service.engine.ServiceEngine`,
+whose ledgers are byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.physics.deck import deck_solver_options, parse_deck_text
+from repro.service.cancel import CancelToken
+from repro.service.quota import TokenBucket
+from repro.service.requests import RequestOutcome
+from repro.service.worker import WorkerGroup
+from repro.utils.errors import ConfigurationError
+
+_DEADLINE_REASON = "deadline exceeded"
+
+
+class SolveService:
+    """Concurrent solve intake over a bounded thread worker pool."""
+
+    def __init__(self, workers: int = 2, group_size: int = 1,
+                 max_inflight: int = 8,
+                 quota_rate: float = 10.0, quota_burst: float = 5.0):
+        self.workers = workers
+        self.group_size = group_size
+        self.max_inflight = max_inflight
+        self.quota_rate = quota_rate
+        self.quota_burst = quota_burst
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="solve-worker")
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight = 0
+        self._count = 0
+        self._pool = [WorkerGroup(i, group_size=group_size)
+                      for i in range(workers)]
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self.quota_rate, self.quota_burst)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    async def submit(self, deck_text: str, *, tenant: str = "default",
+                     n: int = 16, deadline_s: float | None = None,
+                     cancel: CancelToken | None = None) -> RequestOutcome:
+        """Admit and run one solve; always returns a terminal outcome.
+
+        Pass your own ``cancel`` token to retain a mid-flight cancel
+        handle (``token.cancel()`` from any task/thread aborts the solve
+        at its next iteration boundary).
+        """
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        self._count += 1
+        outcome = RequestOutcome(request_id=f"req-{self._count:05d}",
+                                 tenant=tenant, status="shed",
+                                 arrival_s=now)
+        if not self._bucket(tenant).try_acquire(now):
+            outcome.shed_reason = "quota"
+            outcome.finish_s = now
+            return outcome
+        if self._inflight >= self.max_inflight:
+            outcome.shed_reason = "queue_full"
+            outcome.finish_s = now
+            return outcome
+
+        token = cancel if cancel is not None else CancelToken()
+        timer = None
+        if deadline_s is not None:
+            timer = loop.call_later(
+                deadline_s, token.cancel, _DEADLINE_REASON)
+
+        worker = self._pool[(self._count - 1) % len(self._pool)]
+        outcome.worker = worker.wid
+        outcome.start_s = loop.time()
+        self._inflight += 1
+        try:
+            try:
+                options = deck_solver_options(parse_deck_text(deck_text))
+            except (ConfigurationError, ValueError) as exc:
+                outcome.status = "failed"
+                outcome.error_class = type(exc).__name__
+                outcome.error_message = str(exc)[:200]
+                return outcome
+            outcome.solver = options.solver
+            result = await loop.run_in_executor(
+                self._executor,
+                lambda: worker.execute(options, n, cancel=token))
+            outcome.attempts = 1
+            outcome.iterations = result.iterations
+            if result.kind == "ok":
+                outcome.status = "degraded" if result.report.degraded \
+                    else "completed"
+                outcome.x = result.report.x
+                outcome.retries = result.report.retries
+            elif result.kind == "cancelled" \
+                    and token.reason == _DEADLINE_REASON:
+                outcome.status = "deadline_exceeded"
+                outcome.error_class = result.error_class
+                outcome.error_message = str(result.error)[:200]
+            elif result.kind in ("cancelled", "deadline_exceeded"):
+                outcome.status = result.kind
+                outcome.error_class = result.error_class
+                outcome.error_message = str(result.error)[:200]
+            else:
+                outcome.status = "failed"
+                outcome.error_class = result.error_class
+                outcome.error_message = str(result.error)[:200]
+            return outcome
+        finally:
+            self._inflight -= 1
+            if timer is not None:
+                timer.cancel()
+            outcome.finish_s = loop.time()

@@ -1,0 +1,57 @@
+"""Per-tenant admission quotas: deterministic token buckets.
+
+A :class:`TokenBucket` refills continuously at ``rate`` tokens per
+(virtual) second up to ``burst``; each admitted request spends one
+token.  All arithmetic is plain float math on the caller-supplied
+timestamps — no wall clock — so admission decisions are a pure function
+of the request arrival sequence and identical between same-seed runs.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+class TokenBucket:
+    """Continuous-refill token bucket.
+
+    Parameters
+    ----------
+    rate:
+        Tokens added per virtual second.
+    burst:
+        Bucket capacity (also the initial fill): the largest admission
+        burst a cold tenant gets.
+    """
+
+    def __init__(self, rate: float, burst: float):
+        check_positive("rate", rate)
+        check_positive("burst", burst)
+        self.rate = rate
+        self.burst = burst
+        self.tokens = float(burst)
+        self._last = 0.0
+        #: admission statistics
+        self.granted = 0
+        self.rejected = 0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(self.burst,
+                              self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def try_acquire(self, now: float, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens at virtual time ``now`` if available."""
+        self._refill(now)
+        if self.tokens >= cost:
+            self.tokens -= cost
+            self.granted += 1
+            return True
+        self.rejected += 1
+        return False
+
+    def available(self, now: float) -> float:
+        """Current fill level (refilled to ``now``) without spending."""
+        self._refill(now)
+        return self.tokens

@@ -79,6 +79,7 @@ def cg_solve(
     replace_adaptive: bool = False,
     replace_tolerance: float = 0.0,
     stagnation_window: int = 0,
+    cancel=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with (preconditioned) CG.
 
@@ -133,6 +134,12 @@ def cg_solve(
         ``COMM_CONTRACT`` counts are unchanged.  0 disables.
     stagnation_window:
         Breakdown-guard stagnation window (0 disables).
+    cancel:
+        Optional :class:`~repro.service.cancel.CancelToken`-like object
+        whose ``check(iteration)`` is called at every iteration boundary
+        *before* the iteration issues any communication, so a fired
+        token stops all ranks at the same boundary with no in-flight
+        messages.  An inert token is bit-transparent.
 
     Returns
     -------
@@ -189,6 +196,11 @@ def cg_solve(
     res_norm = r0_norm
 
     while not converged and iterations < max_iters:
+        # Cancellation boundary: checked before the iteration issues any
+        # communication, so every rank stops at the same boundary with
+        # nothing in flight (see repro.service.cancel).
+        if cancel is not None:
+            cancel.check(iterations)
         # The span covers the full loop body, so ``iteration`` spans are
         # strict parents of the halo/allreduce/precond spans within —
         # `continue`/`break`/raise all close it cleanly.

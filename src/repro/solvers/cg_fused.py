@@ -51,6 +51,7 @@ def cg_fused_solve(
     max_iters: int = 10_000,
     preconditioner: Preconditioner | None = None,
     reference_norm: float | None = None,
+    cancel=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with one global reduction per iteration."""
     check_positive("eps", eps)
@@ -97,6 +98,10 @@ def cg_fused_solve(
     res_norm = r0_norm
 
     while iterations < max_iters:
+        # Cancellation boundary: before the iteration's matvec exchange
+        # and fused reduction (see repro.service.cancel).
+        if cancel is not None:
+            cancel.check(iterations)
         op.kernels.axpy(x.interior, alpha, p.interior)
         op.kernels.axpy(r.interior, -alpha, s.interior)
         M.apply(r, u)

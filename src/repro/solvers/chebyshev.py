@@ -264,6 +264,7 @@ def chebyshev_solve(
     guard: "SolverGuard | None" = None,
     degrade: bool = False,
     stagnation_window: int = 0,
+    cancel=None,
 ) -> SolveResult:
     """Standalone Chebyshev solver (TeaLeaf ``tl_use_chebyshev``).
 
@@ -293,7 +294,7 @@ def chebyshev_solve(
     local_M = make_local_preconditioner(op, preconditioner)
     warmup = cg_solve(op, b, x0, eps=eps, max_iters=warmup_iters,
                       preconditioner=local_M, solver_name="chebyshev",
-                      guard=guard)
+                      guard=guard, cancel=cancel)
     if warmup.converged:
         warmup.warmup_iterations = warmup.iterations
         warmup.iterations = 0
@@ -314,6 +315,12 @@ def chebyshev_solve(
     degraded = False
     steps_offset = 0  # recurrence steps retired by abandoned deep runs
     while steps_offset + it.steps_done < max_iters:
+        # Cancellation boundary: between residual checks, right after the
+        # previous chunk's convergence allreduce synchronised every rank,
+        # so all ranks stop at the same chunk boundary with no exchange
+        # in flight (see repro.service.cancel).
+        if cancel is not None:
+            cancel.check(steps_offset + it.steps_done)
         if guard is not None:
             guard.begin(steps_offset + it.steps_done)
             if guard.due(steps_offset + it.steps_done):

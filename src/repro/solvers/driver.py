@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.mesh.field import Field
 from repro.solvers.cg import cg_solve
 from repro.solvers.chebyshev import chebyshev_solve
@@ -14,12 +16,31 @@ from repro.solvers.result import SolveResult
 from repro.utils.errors import ConfigurationError
 
 
+@dataclass(frozen=True)
+class SolveSetup:
+    """Reusable expensive setup artifacts injected into a solve.
+
+    ``bounds`` short-circuits the Chebyshev/CPPCG warm-up eigenvalue
+    estimation; ``preconditioner`` is a prebuilt local preconditioner
+    object (e.g. a factorised
+    :class:`~repro.solvers.preconditioners.BlockJacobiPreconditioner`)
+    handed to the cg/cg_fused family instead of factorising per solve.
+    Both default to ``None`` (= compute as usual).  The service layer's
+    LRU setup cache keys these by (mesh, coefficients, options).
+    """
+
+    bounds: object | None = None
+    preconditioner: object | None = None
+
+
 def solve_linear(
     op: StencilOperator2D,
     b: Field,
     x0: Field | None = None,
     options: SolverOptions | None = None,
     guard=None,
+    cancel=None,
+    setup=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with the solver selected in ``options``.
 
@@ -31,6 +52,19 @@ def solve_linear(
     iteration cell with a fault injector); when omitted and
     ``options.guard_interval > 0`` one is constructed from the options.
     Guards apply to the cg/ppcg/chebyshev family.
+
+    ``cancel`` is an optional
+    :class:`~repro.service.cancel.CancelToken`-like object checked at
+    every iteration boundary of the cg/cg_fused/jacobi/chebyshev/ppcg
+    family (a fired token raises
+    :class:`~repro.utils.errors.DeadlineExceeded` /
+    :class:`~repro.utils.errors.Cancelled` coherently on every rank; an
+    inert token is bit-transparent).
+
+    ``setup`` is an optional :class:`SolveSetup` of reusable expensive
+    artifacts — Chebyshev eigenvalue bounds and a prefactorised local
+    preconditioner — typically served by the service layer's LRU setup
+    cache (:mod:`repro.service.cache`).
     """
     opt = options if options is not None else SolverOptions()
     if op.halo < opt.required_field_halo:
@@ -64,7 +98,7 @@ def solve_linear(
 
     from repro.observe.trace import tracer_of
     with tracer_of(solve_op).span("solve", opt.solver):
-        result = _dispatch(solve_op, bb, xx, opt, guard)
+        result = _dispatch(solve_op, bb, xx, opt, guard, cancel, setup)
     if result.x.data.dtype != b.data.dtype:
         result.x = Field(result.x.tile, result.x.halo,
                          result.x.data.astype(b.data.dtype))
@@ -74,12 +108,16 @@ def solve_linear(
     return result
 
 
-def _dispatch(op, b, x0, opt, guard) -> SolveResult:
+def _dispatch(op, b, x0, opt, guard, cancel=None, setup=None) -> SolveResult:
+    bounds = setup.bounds if setup is not None else None
+    prebuilt = setup.preconditioner if setup is not None else None
     if opt.solver == "jacobi":
         return jacobi_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters,
-                            stagnation_window=opt.stagnation_window)
+                            stagnation_window=opt.stagnation_window,
+                            cancel=cancel)
     if opt.solver == "cg":
-        M = make_local_preconditioner(op, opt.preconditioner)
+        M = prebuilt if prebuilt is not None \
+            else make_local_preconditioner(op, opt.preconditioner)
         return cg_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters,
                         preconditioner=M, raise_on_stall=opt.raise_on_stall,
                         guard=guard, abft_interval=opt.abft_interval,
@@ -87,12 +125,15 @@ def _dispatch(op, b, x0, opt, guard) -> SolveResult:
                         replace_interval=opt.replace_interval,
                         replace_adaptive=opt.replace_adaptive,
                         replace_tolerance=opt.replace_tolerance,
-                        stagnation_window=opt.stagnation_window)
+                        stagnation_window=opt.stagnation_window,
+                        cancel=cancel)
     if opt.solver == "cg_fused":
         from repro.solvers.cg_fused import cg_fused_solve
-        M = make_local_preconditioner(op, opt.preconditioner)
+        M = prebuilt if prebuilt is not None \
+            else make_local_preconditioner(op, opt.preconditioner)
         return cg_fused_solve(op, b, x0, eps=opt.eps,
-                              max_iters=opt.max_iters, preconditioner=M)
+                              max_iters=opt.max_iters, preconditioner=M,
+                              cancel=cancel)
     if opt.solver == "dcg":
         from repro.solvers.deflation import deflated_cg_solve
         return deflated_cg_solve(op, b, x0, eps=opt.eps,
@@ -111,6 +152,8 @@ def _dispatch(op, b, x0, opt, guard) -> SolveResult:
             guard=guard,
             degrade=opt.degrade,
             stagnation_window=opt.stagnation_window,
+            bounds=bounds,
+            cancel=cancel,
         )
     if opt.solver == "ppcg":
         return ppcg_solve(
@@ -130,6 +173,8 @@ def _dispatch(op, b, x0, opt, guard) -> SolveResult:
             replace_adaptive=opt.replace_adaptive,
             replace_tolerance=opt.replace_tolerance,
             stagnation_window=opt.stagnation_window,
+            bounds=bounds,
+            cancel=cancel,
         )
     if opt.solver == "mgcg":
         # Imported lazily: multigrid builds on this package.  Serial runs

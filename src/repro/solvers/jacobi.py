@@ -36,6 +36,7 @@ def jacobi_solve(
     eps: float = 1e-10,
     max_iters: int = 100_000,
     stagnation_window: int = 0,
+    cancel=None,
 ) -> SolveResult:
     """Solve ``A x = b`` by Jacobi iteration.
 
@@ -68,6 +69,10 @@ def jacobi_solve(
     from repro.observe.trace import tracer_of
     tracer = tracer_of(op)
     while not converged and iterations < max_iters:
+        # Cancellation boundary: before the iteration's exchange/reduce,
+        # so all ranks stop coherently (see repro.service.cancel).
+        if cancel is not None:
+            cancel.check(iterations)
         with tracer.span("iteration", "jacobi"):
             x.interior += inv_diag * r.interior
             # Fused residual + convergence dot: one exchange, one

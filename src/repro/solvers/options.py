@@ -142,6 +142,15 @@ class SolverOptions:
     #: requires the optional numba extra (availability is checked at
     #: solve time, so an options object naming it stays constructible).
     kernel_backend: str = "numpy"
+    #: Per-attempt receive timeout in seconds for the resilient comm
+    #: stack (TeaLeaf-style deck key ``tl_comm_timeout``, CLI
+    #: ``--comm-timeout``).  0 keeps the library default
+    #: (:data:`repro.resilience.runner.DEFAULT_RECV_TIMEOUT_S`); a
+    #: positive value overrides it, turning a dead peer into a
+    #: :class:`~repro.utils.errors.CommunicationError` after that long.
+    #: Must be at least 0.05 s when set: the thread world polls its
+    #: mailboxes every 20 ms, so tighter deadlines are pure noise.
+    comm_timeout: float = 0.0
 
     def __post_init__(self):
         check_in("solver", self.solver, SOLVERS)
@@ -208,6 +217,13 @@ class SolverOptions:
                  and self.solver not in ("cg", "ppcg")),
             "residual replacement is a CG-recurrence repair: "
             "replace_interval > 0 requires solver cg or ppcg",
+        )
+        check_positive("comm_timeout", self.comm_timeout, allow_zero=True)
+        require(
+            not (0 < self.comm_timeout < 0.05),
+            f"comm_timeout {self.comm_timeout} s is below the thread "
+            "world's 20 ms mailbox poll quantum; use >= 0.05 s (or 0 for "
+            "the library default)",
         )
 
     @property

@@ -90,6 +90,7 @@ def ppcg_solve(
     replace_adaptive: bool = False,
     replace_tolerance: float = 0.0,
     stagnation_window: int = 0,
+    cancel=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with CPPCG.
 
@@ -169,7 +170,7 @@ def ppcg_solve(
         warmup = cg_solve(op, b, x0, eps=eps, max_iters=warmup_iters,
                           preconditioner=local_M, solver_name="ppcg",
                           guard=guard, abft_interval=abft_interval,
-                          abft_tolerance=abft_tolerance)
+                          abft_tolerance=abft_tolerance, cancel=cancel)
     if warmup.converged:
         warmup.warmup_iterations = warmup.iterations
         warmup.iterations = 0
@@ -224,6 +225,7 @@ def ppcg_solve(
                     replace_adaptive=replace_adaptive,
                     replace_tolerance=replace_tolerance,
                     stagnation_window=stagnation_window,
+                    cancel=cancel,
                 )
         except CommunicationError:
             if degrade and depth > 1:
@@ -268,7 +270,7 @@ def ppcg_solve(
                               max_iters=warmup_iters,
                               reference_norm=reference, solver_name="ppcg",
                               guard=guard, abft_interval=abft_interval,
-                              abft_tolerance=abft_tolerance)
+                              abft_tolerance=abft_tolerance, cancel=cancel)
         extra_warmup += rewarm.iterations
         history_prefix += rewarm.history[1:]
         current_x = rewarm.x
@@ -296,7 +298,8 @@ def ppcg_solve(
                              replace_interval=replace_interval,
                              replace_adaptive=replace_adaptive,
                              replace_tolerance=replace_tolerance,
-                             stagnation_window=stagnation_window)
+                             stagnation_window=stagnation_window,
+                             cancel=cancel)
         history_prefix += outer.history[1:]
         current_x = outer.x
 

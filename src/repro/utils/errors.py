@@ -77,6 +77,39 @@ class CheckpointError(ReproError, RuntimeError):
     """
 
 
+class Cancelled(ReproError, RuntimeError):
+    """A cooperative cancellation request stopped a solve mid-flight.
+
+    Raised at an iteration boundary by a solver holding a fired
+    :class:`~repro.service.cancel.CancelToken`.  Deliberately *not* a
+    :class:`CommunicationError`: :func:`~repro.comm.spmd.launch_spmd`
+    prefers non-communication errors as the primary failure, so the
+    cancellation (and not the peers' secondary abort fallout) is what
+    surfaces to the caller.  ``iteration`` is the boundary the solve
+    stopped at — identical on every rank by construction (see
+    :meth:`~repro.service.cancel.CancelToken.check`).
+    """
+
+    def __init__(self, message: str, iteration: int = -1):
+        super().__init__(message)
+        self.iteration = iteration
+
+
+class DeadlineExceeded(Cancelled):
+    """A per-request deadline expired before the solve converged.
+
+    Subclass of :class:`Cancelled` so callers can treat client
+    cancellation and deadline expiry uniformly while the service
+    classifies them separately.  ``deadline_s`` is the (virtual-clock)
+    absolute deadline the request carried, when known.
+    """
+
+    def __init__(self, message: str, iteration: int = -1,
+                 deadline_s: float | None = None):
+        super().__init__(message, iteration=iteration)
+        self.deadline_s = deadline_s
+
+
 def stall_error(solver: str, iterations: int, residual_norm: float,
                 reference_norm: float, eps: float,
                 result=None) -> ConvergenceError:

@@ -125,3 +125,64 @@ class TestRenderAndCli:
         data = json.loads((tmp_path / "BENCH_3.json").read_text())
         assert data["config"]["backends"] == ["numpy"]
         assert data["config"]["quick"] is True
+
+
+class TestCompareLedgers:
+    def _scale(self, ledger, factor, keys=()):
+        """Copy with selected cases' wall_s_min scaled by factor."""
+        import copy
+        out = copy.deepcopy(ledger)
+        for c in out["cases"]:
+            if not keys or bench.case_key(c) in keys:
+                c["timing"]["wall_s_min"] *= factor
+        return out
+
+    def test_identical_ledgers_pass(self, ledgers):
+        report = bench.compare_ledgers(ledgers[0], ledgers[0],
+                                       threshold=1.25)
+        assert report["passed"] and report["compared"] > 0
+        assert not report["only_old"] and not report["only_new"]
+        assert all(r["ratio"] == pytest.approx(1.0) for r in report["rows"])
+
+    def test_regression_detected_and_named(self, ledgers):
+        slow_key = bench.case_key(ledgers[0]["cases"][0])
+        slowed = self._scale(ledgers[0], 2.0, keys={slow_key})
+        report = bench.compare_ledgers(ledgers[0], slowed, threshold=1.25)
+        assert not report["passed"]
+        assert [tuple(r["key"]) for r in report["regressions"]] == [slow_key]
+        assert "REGRESSED" in bench.render_comparison(report)
+
+    def test_speedup_is_not_a_regression(self, ledgers):
+        faster = self._scale(ledgers[0], 0.5)
+        report = bench.compare_ledgers(ledgers[0], faster, threshold=1.25)
+        assert report["passed"]
+
+    def test_threshold_tolerates_noise(self, ledgers):
+        noisy = self._scale(ledgers[0], 1.2)
+        assert bench.compare_ledgers(ledgers[0], noisy,
+                                     threshold=1.25)["passed"]
+        assert not bench.compare_ledgers(ledgers[0], noisy,
+                                         threshold=1.1)["passed"]
+
+    def test_disjoint_case_lists_report_but_pass(self, ledgers):
+        import copy
+        other = copy.deepcopy(ledgers[0])
+        for c in other["cases"]:
+            c["n"] += 1000
+        report = bench.compare_ledgers(ledgers[0], other)
+        assert report["compared"] == 0 and report["passed"]
+        assert report["only_old"] and report["only_new"]
+
+    def test_threshold_validation(self, ledgers):
+        with pytest.raises(ValueError):
+            bench.compare_ledgers(ledgers[0], ledgers[0], threshold=1.0)
+
+    def test_cli_compare_exit_codes(self, tmp_path, ledgers, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(bench.to_json(ledgers[0]))
+        new.write_text(bench.to_json(self._scale(ledgers[0], 3.0)))
+        assert bench.main(["--compare", str(old), str(old)]) == 0
+        assert bench.main(["--compare", str(old), str(new),
+                           "--threshold", "1.5"]) == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,253 @@
+"""Cancellation semantics: deadlines, cooperative aborts, quiescence.
+
+The service's core safety claim: a deadline or client cancel aborts a
+solve at an *iteration boundary*, rank-coherently — every rank raises at
+the same iteration, no p2p message is left pending (the SPMD sanitizer's
+quiescence check passes inside the rank), guard checkpoints taken before
+the abort remain restorable, and an **inert** token is bit-transparent
+(identical iterates, identical comm contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm import SanitizerComm, SanitizerState, launch_spmd
+from repro.mesh import Field, decompose
+from repro.service import CancelToken, Cancelled, DeadlineExceeded, \
+    ScheduledCancel
+from repro.solvers import StencilOperator2D, cg_solve, chebyshev_solve, \
+    jacobi_solve, ppcg_solve
+from repro.testing import crooked_pipe_system, serial_operator
+
+
+def _serial_system(n=16):
+    grid, kxg, kyg, bg = crooked_pipe_system(n)
+    op = serial_operator(grid, kxg, kyg)
+    b = Field.from_global(op.tile, 1, bg)
+    return op, b
+
+
+# -- token unit semantics ------------------------------------------------------
+
+
+class TestCancelToken:
+    def test_inert_token_never_fires(self):
+        token = CancelToken()
+        for it in range(1000):
+            token.check(it)
+        token.poll()
+
+    def test_deadline_budget_fires_at_exact_iteration(self):
+        token = CancelToken(iteration_budget=5)
+        for it in range(5):
+            token.check(it)
+        with pytest.raises(DeadlineExceeded) as exc:
+            token.check(5)
+        assert exc.value.iteration == 5
+
+    def test_client_cancel_latches_one_boundary(self):
+        """All observers of a cancel raise at the same iteration: the
+        first check() after the request latches the boundary, and any
+        check at an earlier iteration stays silent (a lagging rank
+        reaches the boundary before raising)."""
+        token = CancelToken()
+        token.check(3)
+        token.cancel("user abort")
+        with pytest.raises(Cancelled):
+            token.check(7)
+        # Latched at 7: a rank still at iteration 6 passes...
+        token.check(6)
+        # ...and raises once it reaches the latched boundary.
+        with pytest.raises(Cancelled) as exc:
+            token.check(7)
+        assert "user abort" in str(exc.value)
+
+    def test_poll_fires_only_on_request_not_budget(self):
+        token = CancelToken(iteration_budget=1)
+        token.poll()  # budgets are iteration-coherent; poll ignores them
+        token.cancel()
+        with pytest.raises(Cancelled):
+            token.poll()
+
+    def test_cancel_is_idempotent_first_reason_wins(self):
+        token = CancelToken()
+        token.cancel("first")
+        token.cancel("second")
+        assert token.reason == "first"
+
+    def test_scheduled_cancel_fires_at_iteration(self):
+        token = CancelToken()
+        sched = ScheduledCancel(token, cancel_at_iteration=4)
+        for it in range(4):
+            sched.check(it)
+        with pytest.raises(Cancelled):
+            sched.check(4)
+        assert token.cancel_requested
+
+
+# -- solver integration --------------------------------------------------------
+
+
+class TestSolverCancellation:
+    def test_cg_deadline_carries_iteration(self):
+        op, b = _serial_system()
+        with pytest.raises(DeadlineExceeded) as exc:
+            cg_solve(op, b, eps=1e-12, max_iters=200,
+                     cancel=CancelToken(iteration_budget=4))
+        assert exc.value.iteration == 4
+
+    @pytest.mark.parametrize("solve", [cg_solve, jacobi_solve])
+    def test_scheduled_client_cancel_mid_solve(self, solve):
+        op, b = _serial_system()
+        token = CancelToken()
+        with pytest.raises(Cancelled):
+            solve(op, b, eps=1e-12, max_iters=500,
+                  cancel=ScheduledCancel(token, cancel_at_iteration=3))
+
+    def test_chebyshev_and_ppcg_respect_budgets(self):
+        op, b = _serial_system()
+        with pytest.raises(DeadlineExceeded):
+            chebyshev_solve(op, b, eps=1e-14, max_iters=400, warmup_iters=8,
+                            cancel=CancelToken(iteration_budget=12))
+        with pytest.raises(DeadlineExceeded):
+            ppcg_solve(op, b, eps=1e-14, max_iters=400, warmup_iters=4,
+                       cancel=CancelToken(iteration_budget=6))
+
+    def test_inert_token_is_bit_transparent(self):
+        """The no-token and inert-token solves take identical paths."""
+        op, b = _serial_system()
+        plain = cg_solve(op, b, eps=1e-10, max_iters=200)
+        tokened = cg_solve(op, b, eps=1e-10, max_iters=200,
+                           cancel=CancelToken())
+        assert tokened.iterations == plain.iterations
+        assert np.array_equal(tokened.x.interior, plain.x.interior)
+
+    def test_guard_checkpoint_rollback_intact_after_cancel(self):
+        """A cancelled solve leaves the guard's last checkpoint intact
+        and rollback-able (no half-saved state)."""
+        from repro.resilience.guard import SolverGuard
+
+        op, b = _serial_system()
+        guard = SolverGuard(checkpoint_interval=2)
+        with pytest.raises(DeadlineExceeded):
+            cg_solve(op, b, eps=1e-12, max_iters=200, guard=guard,
+                     cancel=CancelToken(iteration_budget=7))
+        assert guard.checkpoints >= 3
+        snap = guard.rollback("resume after cancel")
+        assert 0 <= snap.iteration <= 6
+        assert snap.scalars   # recurrence state rode along
+
+    def test_cancelled_solve_resumable_from_durable_checkpoints(self, tmp_path):
+        """End to end: cancel a checkpointing solve mid-flight, then
+        resume from its durable shards and run to convergence."""
+        from repro.resilience.faults import FaultPlan
+        from repro.resilience.runner import run_resilient
+        from repro.solvers import SolverOptions
+
+        opts = SolverOptions(solver="cg", eps=1e-10, max_iters=200,
+                             guard_interval=2)
+        with pytest.raises(DeadlineExceeded):
+            run_resilient(opts, FaultPlan.disabled(), n=16,
+                          checkpoint_dir=tmp_path,
+                          cancel=CancelToken(iteration_budget=7))
+        report = run_resilient(opts, FaultPlan.disabled(), n=16,
+                               checkpoint_dir=tmp_path, resume=True)
+        assert report.converged
+
+
+# -- rank coherence + quiescence (the no-wedged-barrier claim) -----------------
+
+
+@pytest.mark.distributed
+class TestRankCoherentCancellation:
+    def test_deadline_aborts_all_ranks_same_iteration_quiescent(self):
+        """Every rank raises at the same iteration boundary and the
+        sanitizer's quiescence check passes inside each rank: no pending
+        p2p, no half-exchanged halo, no rank still waiting in a
+        collective."""
+        size = 2
+        n = 16
+        state = SanitizerState(size)
+        grid, kxg, kyg, bg = crooked_pipe_system(n)
+
+        def rank_main(comm):
+            c = SanitizerComm(comm, state=state)
+            tile = decompose(grid, c.size)[c.rank]
+            op = StencilOperator2D.from_global_faces(tile, 1, kxg, kyg, c)
+            b = Field.from_global(tile, 1, bg)
+            try:
+                cg_solve(op, b, eps=1e-14, max_iters=200,
+                         cancel=CancelToken(iteration_budget=5))
+            except DeadlineExceeded as exc:
+                c.check_quiescent()   # raises SanitizerError if p2p pending
+                return ("deadline", exc.iteration)
+            return ("converged", -1)
+
+        out = launch_spmd(rank_main, size)
+        assert out == [("deadline", 5)] * size
+
+    def test_client_cancel_via_spmd_runner_surfaces_cancelled(self):
+        """Through the full resilient runner, a scheduled client cancel
+        surfaces as Cancelled (not as CommunicationError abort fallout)."""
+        from repro.resilience.faults import FaultPlan
+        from repro.resilience.runner import run_resilient
+        from repro.solvers import SolverOptions
+
+        token = CancelToken()
+        with pytest.raises(Cancelled):
+            run_resilient(SolverOptions(solver="cg", eps=1e-14,
+                                        max_iters=200),
+                          FaultPlan.disabled(), n=16, size=2,
+                          cancel=ScheduledCancel(token, cancel_at_iteration=4))
+
+
+# -- contract transparency -----------------------------------------------------
+
+
+@pytest.mark.slow
+def test_all_contracts_verify_with_inert_token():
+    """Every shipped COMM_CONTRACT still verifies when an inert
+    CancelToken rides along: the cancellation hook adds zero
+    communication and never perturbs the iteration path."""
+    from repro.analysis.verify import default_specs, verify_contracts
+
+    specs = default_specs()
+    assert len(specs) == 8
+    # Re-point every cancel-aware solver at a tokened run (dcg keeps its
+    # stock run: deflated CG has no cancellation hook).
+    from repro.analysis.verify import EPS_NEVER
+    from repro.solvers import cg_fused_solve
+
+    token = CancelToken()
+    by_name = {s.name: s for s in specs}
+    by_name["cg"].run = lambda op, b, bounds, k, guard=None: cg_solve(
+        op, b, eps=EPS_NEVER, max_iters=k, guard=guard, cancel=token)
+    by_name["cg_fused"].run = \
+        lambda op, b, bounds, k, guard=None: cg_fused_solve(
+            op, b, eps=EPS_NEVER, max_iters=k, cancel=token)
+    by_name["jacobi"].run = lambda op, b, bounds, k, guard=None: jacobi_solve(
+        op, b, eps=EPS_NEVER, max_iters=k, cancel=token)
+    by_name["chebyshev"].run = \
+        lambda op, b, bounds, k, guard=None: chebyshev_solve(
+            op, b, eps=EPS_NEVER, max_iters=k, warmup_iters=8,
+            check_interval=10, bounds=bounds, guard=guard, cancel=token)
+    by_name["chebyshev[depth=4]"].run = \
+        lambda op, b, bounds, k, guard=None: chebyshev_solve(
+            op, b, eps=EPS_NEVER, max_iters=k, warmup_iters=8,
+            check_interval=10, halo_depth=4, bounds=bounds, guard=guard,
+            cancel=token)
+    by_name["ppcg"].run = lambda op, b, bounds, k, guard=None: ppcg_solve(
+        op, b, eps=EPS_NEVER, max_iters=k, inner_steps=4, warmup_iters=8,
+        bounds=bounds, guard=guard, cancel=token)
+    by_name["ppcg[depth=4]"].run = \
+        lambda op, b, bounds, k, guard=None: ppcg_solve(
+            op, b, eps=EPS_NEVER, max_iters=k, inner_steps=8, halo_depth=4,
+            warmup_iters=8, bounds=bounds, guard=guard, cancel=token)
+
+    reports = verify_contracts(n=32, specs=specs)
+    assert len(reports) == 8
+    bad = [(r.name, r.measured_allreduces, r.measured_halos)
+           for r in reports if not r.ok]
+    assert not bad, bad

@@ -42,3 +42,13 @@ class TestExamples:
         # all four walkthrough stages made it to their output
         assert "fault" in out
         assert "restart" in out or "checkpoint" in out
+
+    def test_service_demo_runs(self):
+        proc = run_example("service_demo.py")
+        assert proc.returncode == 0, proc.stderr
+        out = proc.stdout.lower()
+        # all four walkthrough stages made it to their output
+        assert "deadline_exceeded" in out
+        assert "bit-transparent" in out
+        assert "cache" in out
+        assert "all stages passed" in out
