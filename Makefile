@@ -6,7 +6,7 @@
 PYTHON ?= python
 PYTHONPATH_SRC = PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-compare report figures examples trace lint verify-contracts resilience restart-demo stability sanitize chaos soak serve serve-demo clean
+.PHONY: install test test-fast bench bench-compare report figures examples trace lint verify-contracts resilience restart-demo stability sanitize chaos soak service-soak serve serve-demo clean
 
 install:
 	pip install -e .
@@ -142,6 +142,20 @@ soak:
 	@rm -rf results/soak
 	$(PYTHONPATH_SRC) $(PYTHON) -m repro.harness.soak \
 	    --cycles 3 --ranks 2 --out results/soak
+
+# Service durability soak (docs/service.md, "Durability & crash
+# recovery"): SIGKILL the journaled engine at seeded points mid-campaign
+# (some kills land mid-frame, tearing the journal tail), restart and
+# replay until the campaign completes, then verify against an
+# uninterrupted same-seed run — zero lost acknowledgements, zero
+# duplicate solves for journaled idempotency keys, oracle-clean results,
+# byte-identical outcomes/journal/ledger.  Exits non-zero on any
+# violation.  Writes results/service-soak/SOAK_SERVICE_<n>.json.
+service-soak:
+	@rm -rf results/service-soak
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.cli.main soak --service \
+	    --seed 424243 --kill-seed 7 --requests 30 \
+	    --out results/service-soak
 
 # Multi-tenant solve service (docs/service.md): deterministic virtual-
 # clock load sweep — mixed tenants/solvers/deadlines/cancels under a

@@ -230,6 +230,15 @@ def _cmd_chaos(args) -> int:
 
 def _cmd_soak(args) -> int:
     """Kill/restart soak of the mini-app under periodic fault storms."""
+    if args.service:
+        from repro.harness.service_soak import main as service_soak_main
+        argv = ["--seed", str(args.seed),
+                "--requests", str(args.requests),
+                "--kill-seed", str(args.kill_seed),
+                "--out", args.out]
+        if args.out == "results/soak":   # service ledgers live elsewhere
+            argv[-1] = "results/service"
+        return service_soak_main(argv)
     from repro.harness.soak import main as soak_main
     argv = ["--seed", str(args.seed), "--cycles", str(args.cycles),
             "--steps-per-cycle", str(args.steps_per_cycle),
@@ -418,6 +427,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="SPMD world size (thread ranks)")
     p_soak.add_argument("--out", default="results/soak",
                         help="directory for checkpoints + SOAK_<n>.json")
+    p_soak.add_argument("--service", action="store_true",
+                        help="soak the journaled solve service instead: "
+                             "SIGKILL/replay cycles -> SOAK_SERVICE_<n>.json")
+    p_soak.add_argument("--requests", type=int, default=30,
+                        help="service workload size (with --service)")
+    p_soak.add_argument("--kill-seed", type=int, default=7,
+                        help="seed for SIGKILL points (with --service)")
     p_soak.set_defaults(func=_cmd_soak)
 
     p_bench = sub.add_parser(

@@ -83,11 +83,14 @@ def _weighted(rng: random.Random, pairs):
 
 
 def _deck_text(flag: str, extra: str, n: int) -> str:
-    text = CROOKED_PIPE_DECK.format(n=n).replace("use_ppcg", flag)
-    body = f"tl_eps={SWEEP_EPS}"
+    # The template's own tl_eps line is replaced (not shadowed): the
+    # hardened deck parser rejects duplicate settings outright.
+    text = (CROOKED_PIPE_DECK.format(n=n)
+            .replace("use_ppcg", flag)
+            .replace("tl_eps=1e-10", f"tl_eps={SWEEP_EPS}"))
     if extra:
-        body += "\n" + extra
-    return text.replace("*endtea", body + "\n*endtea")
+        text = text.replace("*endtea", extra + "\n*endtea")
+    return text
 
 
 def generate_requests(seed: int, count: int, *,

@@ -126,25 +126,36 @@ def _parse_state(tokens: list[str], lineno: int) -> tuple[int, RegionSpec]:
             raise ConfigurationError(
                 f"line {lineno}: expected key=value in state, got {tok!r}")
         key, val = tok.split("=", 1)
-        kv[key.strip()] = _coerce(val.strip())
+        key = key.strip()
+        if key in kv:
+            raise ConfigurationError(
+                f"line {lineno}: duplicate key {key!r} in state {index}")
+        kv[key] = _coerce(val.strip())
     geometry = kv.pop("geometry", "background" if index == 1 else None)
     if geometry is None:
         raise ConfigurationError(
             f"line {lineno}: state {index} needs geometry=")
-    try:
-        density = float(kv.pop("density"))
-        energy = float(kv.pop("energy"))
-    except KeyError as missing:
-        raise ConfigurationError(
-            f"line {lineno}: state {index} missing {missing}")
+
+    def _pop_float(name: str) -> float:
+        try:
+            value = kv.pop(name)
+        except KeyError:
+            raise ConfigurationError(
+                f"line {lineno}: state {index} ({geometry}) "
+                f"missing {name!r}") from None
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"line {lineno}: state {index}: bad value for "
+                f"{name}: {value!r}") from None
+
+    density = _pop_float("density")
+    energy = _pop_float("energy")
     needed = {"rectangle": ("xmin", "xmax", "ymin", "ymax"),
               "circle": ("xcentre", "ycentre", "radius"),
               "point": ("xcentre", "ycentre")}.get(geometry, ())
-    try:
-        bounds = tuple(float(kv.pop(b)) for b in needed)
-    except KeyError as missing:
-        raise ConfigurationError(
-            f"line {lineno}: state {index} ({geometry}) missing {missing}")
+    bounds = tuple(_pop_float(b) for b in needed)
     if kv:
         raise ConfigurationError(
             f"line {lineno}: unknown state keys {sorted(kv)}")
@@ -153,9 +164,24 @@ def _parse_state(tokens: list[str], lineno: int) -> tuple[int, RegionSpec]:
 
 
 def parse_deck_text(text: str) -> Deck:
-    """Parse deck text (with or without the ``*tea`` wrapper)."""
+    """Parse deck text (with or without the ``*tea`` wrapper).
+
+    Every malformed input — unknown keys, wrong-typed values, duplicate
+    settings or state indices, conflicting solver flags — raises a
+    :class:`~repro.utils.errors.ConfigurationError` naming the key and
+    the line number; no raw ``ValueError``/``KeyError`` ever escapes.
+    """
     deck = Deck()
     states: dict[int, RegionSpec] = {}
+    seen: dict[str, int] = {}
+
+    def _first_use(key: str, lineno: int, what: str = "setting") -> None:
+        if key in seen:
+            raise ConfigurationError(
+                f"line {lineno}: duplicate {what} {key!r} "
+                f"(first set on line {seen[key]})")
+        seen[key] = lineno
+
     in_block = "*tea" not in text
     for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("!")[0].split("#")[0].strip()
@@ -173,20 +199,25 @@ def parse_deck_text(text: str) -> Deck:
         tokens = line.split()
         if tokens[0].lower() == "state":
             index, spec = _parse_state(tokens, lineno)
+            _first_use(f"state {index}", lineno, what="state")
             states[index] = spec
             continue
         if low in _SOLVER_FLAGS:
+            _first_use("solver flag", lineno, what="solver selection")
             deck.solver = _SOLVER_FLAGS[low]
             continue
         if low in _RESILIENCE_FLAGS:
+            _first_use(low, lineno, what="flag")
             setattr(deck, _RESILIENCE_FLAGS[low], True)
             continue
         if low in _NUMERICS_FLAGS:
+            _first_use(low, lineno, what="flag")
             setattr(deck, _NUMERICS_FLAGS[low], True)
             continue
         if "=" not in line:
             raise ConfigurationError(f"line {lineno}: unrecognised entry {line!r}")
         key, val = (s.strip() for s in line.split("=", 1))
+        _first_use(key.lower(), lineno)
         _apply_setting(deck, key.lower(), val, lineno)
 
     if states:

@@ -55,6 +55,7 @@ from repro.resilience.chaos import (
 )
 from repro.resilience.checkpoint import (
     CHECKPOINT_SCHEMA,
+    CheckpointWarning,
     SolverCheckpointStore,
     array_crc32,
     commit_checkpoint,
@@ -62,6 +63,7 @@ from repro.resilience.checkpoint import (
     load_rank_checkpoint,
     load_shard,
     read_manifest,
+    validate_checkpoint,
     write_shard,
 )
 from repro.resilience.faults import (
@@ -89,6 +91,7 @@ from repro.resilience.runner import (
 
 __all__ = [
     "CHECKPOINT_SCHEMA",
+    "CheckpointWarning",
     "ChaosCampaignResult",
     "ChecksumComm",
     "DEFAULT_BUDGETS",
@@ -134,5 +137,6 @@ __all__ = [
     "run_trial",
     "shrink_plan",
     "storm_plan",
+    "validate_checkpoint",
     "write_fixture",
 ]

@@ -49,6 +49,16 @@ import numpy as np
 from repro.comm.base import Communicator
 from repro.utils.errors import CheckpointError
 
+
+class CheckpointWarning(UserWarning):
+    """A damaged checkpoint was skipped during discovery.
+
+    Emitted (via :mod:`warnings`) by :func:`latest_checkpoint` when a
+    candidate ``step-*`` directory fails validation — truncated or
+    bit-flipped shards, an unreadable manifest — and recovery falls back
+    to the next older committed step instead of raising.
+    """
+
 #: Version tag embedded in every shard and manifest.
 CHECKPOINT_SCHEMA = "repro.checkpoint/v1"
 
@@ -231,16 +241,53 @@ def read_manifest(step_dir: Path) -> dict:
     return manifest
 
 
-def latest_checkpoint(root: Path) -> Path | None:
-    """The most recent committed ``step-*`` directory under ``root``, if any.
+def validate_checkpoint(step_dir: Path) -> dict:
+    """Fully validate a committed step directory; return its manifest.
 
-    ``.pending-*`` directories (torn commits) and step directories without a
-    manifest are skipped.
+    Checks the manifest itself, that every shard the manifest names is
+    present, and that every shard decodes with matching shapes, dtypes
+    and CRC32s.  All failure modes — including raw ``zipfile``/
+    ``KeyError`` decode surprises — surface as :class:`CheckpointError`.
     """
+    step_dir = Path(step_dir)
+    try:
+        manifest = read_manifest(step_dir)
+        declared = manifest.get("shards", {})
+        nranks = int(manifest.get("nranks", 0))
+        if len(declared) != nranks:
+            raise CheckpointError(
+                f"{step_dir}: manifest lists {len(declared)} shard(s) "
+                f"for {nranks} rank(s)")
+        for rank in range(nranks):
+            if shard_name(rank) not in declared:
+                raise CheckpointError(
+                    f"{step_dir}: manifest is missing {shard_name(rank)}")
+            load_shard(step_dir / shard_name(rank))
+    except CheckpointError:
+        raise
+    except Exception as exc:  # any decode surprise is a checkpoint fault
+        raise CheckpointError(
+            f"invalid checkpoint {step_dir}: {exc}") from exc
+    return manifest
+
+
+def latest_checkpoint(root: Path, *, validate: bool = True) -> Path | None:
+    """The newest *fully valid* committed ``step-*`` directory, if any.
+
+    ``.pending-*`` directories (torn commits) and step directories without
+    a manifest are always skipped.  With ``validate=True`` (the default)
+    every candidate is additionally deep-checked — manifest, shard
+    presence, per-array CRC32s — newest first, and a damaged candidate is
+    skipped with a :class:`CheckpointWarning` naming the directory and
+    the fault, so a truncated or bit-flipped checkpoint degrades recovery
+    by one step instead of aborting it.
+    """
+    import warnings as _warnings
+
     root = Path(root)
     if not root.is_dir():
         return None
-    best: tuple[int, Path] | None = None
+    candidates: list[tuple[int, Path]] = []
     for entry in root.iterdir():
         if not entry.is_dir() or not entry.name.startswith(_STEP_PREFIX):
             continue
@@ -250,9 +297,19 @@ def latest_checkpoint(root: Path) -> Path | None:
             continue
         if not (entry / "manifest.json").is_file():
             continue
-        if best is None or step > best[0]:
-            best = (step, entry)
-    return best[1] if best else None
+        candidates.append((step, entry))
+    for _, entry in sorted(candidates, reverse=True):
+        if not validate:
+            return entry
+        try:
+            validate_checkpoint(entry)
+        except CheckpointError as exc:
+            _warnings.warn(
+                f"skipping damaged checkpoint {entry.name}: {exc}",
+                CheckpointWarning, stacklevel=2)
+            continue
+        return entry
+    return None
 
 
 def load_rank_checkpoint(step_dir: Path, rank: int,
@@ -309,5 +366,9 @@ class SolverCheckpointStore:
         if not self.path.is_file():
             return None
         arrays, scalars = load_shard(self.path)
+        if "__iteration__" not in scalars:
+            raise CheckpointError(
+                f"solver shard {self.path} has no __iteration__ scalar "
+                f"(not a guard snapshot?)")
         iteration = int(scalars.pop("__iteration__"))
         return iteration, arrays, scalars

@@ -149,7 +149,7 @@ def run_resilient(options: SolverOptions,
                   recv_timeout: float | None = DEFAULT_RECV_TIMEOUT_S,
                   integrity: bool = False,
                   checkpoint_dir=None,
-                  resume: bool = False,
+                  resume: bool | str = False,
                   cancel=None,
                   setup=None) -> ResilienceReport:
     """Solve the ``n``×``n`` crooked-pipe system through the fault stack.
@@ -168,6 +168,17 @@ def run_resilient(options: SolverOptions,
     checkpoint to resume from, rebuild ``x0`` from their saved state, and
     refresh halos from their neighbours — the comm traffic of all of
     which lands under :data:`~repro.utils.events.RECOVERY_KIND`.
+
+    ``resume="exact"`` goes further: instead of a warm ``x0`` restart it
+    continues the CG recurrence *bit-exactly* from the snapshot (fields
+    ``x``/``r``/``p`` plus the recurrence scalars), as if the crash had
+    been a guard rollback.  Exact resume requires unanimous shards —
+    every rank holds a complete snapshot at the *same* iteration
+    (min == max in the vote) — plus ``solver="cg"``, no fault plan and
+    ``replace_interval=0``; when any condition fails (including a
+    corrupt shard, which votes "no checkpoint" instead of raising) the
+    solve deterministically restarts from scratch, so either way the
+    result is bit-identical to an uninterrupted run.
 
     ``cancel`` (a :class:`~repro.service.cancel.CancelToken`-like object)
     is shared by every rank: it is checked at solver iteration
@@ -209,26 +220,70 @@ def run_resilient(options: SolverOptions,
                 store=store)
         x0 = None
         resumed = -1
+        resume_state = None
         if resume:
             if store is None:
                 raise CheckpointError(
-                    "resume=True requires a checkpoint_dir")
-            loaded = store.load()
+                    "resume requires a checkpoint_dir")
+            exact = resume == "exact"
+            if exact:
+                try:
+                    loaded = store.load()
+                except CheckpointError:
+                    # A corrupt or foreign shard must degrade recovery
+                    # (vote "no checkpoint"), not abort it.
+                    loaded = None
+            else:
+                loaded = store.load()
+            # Exact continuation is only sound when nothing perturbs the
+            # replayed recurrence; the conditions are uniform across
+            # ranks, so every rank takes the same branch.
+            exact_eligible = (exact and options.solver == "cg"
+                              and options.replace_interval == 0
+                              and (plan is None or not plan.active()))
+            complete = (loaded is not None
+                        and all(k in loaded[1] for k in ("x", "r", "p"))
+                        and all(k in loaded[2]
+                                for k in ("rz", "rr", "pa", "reference")))
             with recovery_scope(stack.events):
                 # Failure vote: every rank contributes its durable shard's
                 # iteration (-1 = no shard); the min is the collective
                 # checkpoint all ranks can satisfy.  Float-typed so the
                 # injector's corruption model applies to it like any
                 # other reduction.
-                mine = float(loaded[0]) if loaded is not None else -1.0
+                if exact:
+                    mine = float(loaded[0]) if complete else -1.0
+                else:
+                    mine = float(loaded[0]) if loaded is not None else -1.0
                 # RPR009 sees `store` as rank-dependent (it is built from
                 # comm.rank) and the `if store is None: raise` above as a
                 # divergent early exit.  Its None-ness actually depends
                 # only on checkpoint_dir — uniform config — so every rank
                 # takes the same path to this vote.
-                resumed = int(
+                lowest = int(
                     stack.comm.allreduce(mine, "min"))  # repro: ignore[RPR009]
-                if resumed >= 0:
+                if exact:
+                    # Unanimity vote: exact continuation needs every rank
+                    # at the *same* snapshot iteration; shard skew (a
+                    # SIGKILL mid-save) falls back to a from-scratch
+                    # re-solve, which is equally bit-identical to the
+                    # uninterrupted run.
+                    highest = int(
+                        stack.comm.allreduce(mine, "max"))  # repro: ignore[RPR009]
+                    if exact_eligible and 0 <= lowest == highest:
+                        saved_x = loaded[1]["x"]
+                        probe = op.new_field()
+                        if saved_x.shape != probe.data.shape:
+                            raise CheckpointError(
+                                f"rank {comm.rank}: saved solver state is "
+                                f"{saved_x.shape}, tile needs "
+                                f"{probe.data.shape}")
+                        resumed = lowest
+                        resume_state = {"iteration": int(loaded[0]),
+                                        "arrays": loaded[1],
+                                        "scalars": loaded[2]}
+                elif lowest >= 0:
+                    resumed = lowest
                     saved_x = loaded[1].get("x")
                     if saved_x is not None:
                         x0 = op.new_field()
@@ -242,7 +297,8 @@ def run_resilient(options: SolverOptions,
                         # reconstructed subdomain gets live boundary data.
                         op.exchanger.exchange([x0], depth=1)
         result = solve_linear(op, b, x0=x0, options=options, guard=guard,
-                              cancel=cancel, setup=setup)
+                              cancel=cancel, setup=setup,
+                              resume_state=resume_state)
         return tile, result, stack, guard, resumed
 
     out = launch_spmd(rank_main, size)

@@ -16,6 +16,16 @@ Two execution surfaces share these parts:
   validation, the ``SERVICE_<n>.json`` ledgers);
 - :class:`~repro.service.front.SolveService` — an asyncio front-end on
   real time and a thread pool (``repro serve``, examples).
+
+Both surfaces are optionally **crash-consistent**: a
+:class:`~repro.service.journal.RequestJournal` (CRC32-framed segmented
+write-ahead log) records every lifecycle transition before the service
+acts on it, a :class:`~repro.service.recovery.ResultStore` persists
+converged solutions, and on restart the engine replays the journal with
+exactly-once semantics — acknowledged completions are served from the
+durable digest, the in-flight crash victim resumes mid-solve from its
+guard shards (``resume="exact"``), and a
+:class:`~repro.service.supervisor.Supervisor` watches dispatch liveness.
 """
 
 from repro.service.breaker import CircuitBreaker
@@ -33,9 +43,19 @@ from repro.service.engine import (
     iteration_cost_s,
 )
 from repro.service.front import SolveService
+from repro.service.journal import RequestJournal, encode_record, scan_journal
 from repro.service.quota import TokenBucket
+from repro.service.recovery import (
+    RecoveryWarning,
+    ReplayIndex,
+    ResultStore,
+    deck_fingerprint,
+    solution_digest,
+)
 from repro.service.requests import STATUSES, RequestOutcome, SolveRequest
+from repro.service.supervisor import SupervisedToken, Supervisor
 from repro.service.worker import ExecutionResult, WorkerGroup
+from repro.utils.errors import JournalError, WorkerStuck
 
 __all__ = [
     "CancelToken",
@@ -43,8 +63,13 @@ __all__ = [
     "CircuitBreaker",
     "DeadlineExceeded",
     "ExecutionResult",
+    "JournalError",
     "LADDER",
+    "RecoveryWarning",
+    "ReplayIndex",
+    "RequestJournal",
     "RequestOutcome",
+    "ResultStore",
     "STATUSES",
     "ScheduledCancel",
     "ServiceConfig",
@@ -52,9 +77,16 @@ __all__ = [
     "SetupCache",
     "SolveRequest",
     "SolveService",
+    "SupervisedToken",
+    "Supervisor",
     "TokenBucket",
     "WorkerGroup",
+    "WorkerStuck",
+    "deck_fingerprint",
     "degrade_for_pressure",
+    "encode_record",
     "fingerprint",
     "iteration_cost_s",
+    "scan_journal",
+    "solution_digest",
 ]

@@ -36,7 +36,8 @@ Every request terminates in exactly one
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from repro.observe.metrics import MetricsRegistry
 from repro.physics.deck import deck_solver_options, parse_deck_text
@@ -45,11 +46,18 @@ from repro.service.cancel import CancelToken, ScheduledCancel
 from repro.service.cache import SetupCache
 from repro.service.degrade import degrade_for_pressure
 from repro.service.quota import TokenBucket
+from repro.service.recovery import (
+    ReplayIndex,
+    deck_fingerprint,
+    solution_digest,
+    synthesize_result,
+)
 from repro.service.requests import RequestOutcome, SolveRequest
+from repro.service.supervisor import SupervisedToken
 from repro.service.worker import WorkerGroup
 from repro.solvers.driver import SolveSetup
 from repro.solvers.eigen import EigenBounds
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import ConfigurationError, JournalError
 
 #: Virtual seconds one solver iteration costs per mesh cell.
 _CELL_COST_S = 1e-7
@@ -94,6 +102,11 @@ class ServiceConfig:
     overhead_s: float = 2e-4        #: fixed dispatch/teardown charge
     failure_cost_s: float = 0.01    #: virtual charge of a failed attempt
     chaos_seed: int = 0             #: base seed for per-request fault plans
+    #: Supervisor liveness allowance: a dispatch running longer than this
+    #: (virtual seconds, converted to an iteration allowance up front) is
+    #: declared stuck, cancelled via :class:`WorkerStuck` and
+    #: re-dispatched under the breaker/hedging machinery.  0 disables.
+    stuck_after_s: float = 0.0
 
 
 @dataclass
@@ -107,12 +120,31 @@ class _Pending:
     options: object = None          #: parsed SolverOptions (lazy)
     parse_error: BaseException | None = None
     degrade_steps: list = field(default_factory=list)
+    digest: str = ""                #: converged solution's content digest
 
 
 class ServiceEngine:
     """Run a batch of requests to terminal outcomes on virtual time."""
 
-    def __init__(self, config: ServiceConfig | None = None, tracer=None):
+    def __init__(self, config: ServiceConfig | None = None, tracer=None,
+                 journal=None, results=None, checkpoint_root=None):
+        """``journal``/``results``/``checkpoint_root`` opt into crash
+        consistency (all default off → byte-identical legacy behaviour):
+
+        - ``journal`` — a :class:`~repro.service.journal.RequestJournal`;
+          every lifecycle transition is framed to it before the engine
+          acts, and a journal opened over surviving records puts the
+          engine in recovery: the deterministic re-run *verifies* the
+          journaled prefix and skips every solve whose classified
+          ``attempt`` record is already durable;
+        - ``results`` — a :class:`~repro.service.recovery.ResultStore`
+          persisting converged solutions, so replayed/deduplicated
+          completions are served without re-solving;
+        - ``checkpoint_root`` — directory under which guard-enabled
+          requests get per-request durable solver shards
+          (``<root>/<request_id>/``); the in-flight crash victim then
+          resumes mid-solve with ``resume="exact"``.
+        """
         self.config = config if config is not None else ServiceConfig()
         self.metrics = MetricsRegistry()
         self.cache = SetupCache(self.config.cache_entries,
@@ -135,6 +167,19 @@ class ServiceEngine:
         self._seq = 0
         self._queue: list[_Pending] = []
         self._outcomes: dict[str, RequestOutcome] = {}
+        self.journal = journal
+        self.results = results
+        self.checkpoint_root = (Path(checkpoint_root)
+                                if checkpoint_root is not None else None)
+        self.replay = ReplayIndex.from_records(
+            journal.records if journal is not None else [])
+        #: idempotency key -> terminal record of the acknowledged
+        #: completion (seeded from the journal, grown live)
+        self._completed_keys: dict[str, dict] = dict(
+            self.replay.completed_by_key)
+        self.replayed_attempts = 0
+        self.resumed_requests: list[str] = []
+        self.deduplicated = 0
 
     # -- event plumbing --------------------------------------------------------
 
@@ -144,6 +189,23 @@ class ServiceEngine:
 
     def _count(self, name: str) -> None:
         self.metrics.counter(f"service.{name}").inc()
+
+    def _journal(self, record: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def recovery_summary(self) -> dict:
+        """Runtime recovery statistics (crash-*variant*: not for ledgers)."""
+        return {
+            "journal_records": (self.journal.record_count
+                                if self.journal is not None else 0),
+            "journal_warnings": (list(self.journal.warnings)
+                                 if self.journal is not None else []),
+            "replayed_prefix": self.replay.record_count,
+            "replayed_attempts": self.replayed_attempts,
+            "resumed_requests": list(self.resumed_requests),
+            "deduplicated": self.deduplicated,
+        }
 
     # -- public API ------------------------------------------------------------
 
@@ -185,19 +247,60 @@ class ServiceEngine:
     def _admit(self, req: SolveRequest) -> None:
         outcome = RequestOutcome(request_id=req.request_id,
                                  tenant=req.tenant, status="shed",
-                                 arrival_s=req.arrival_s)
+                                 arrival_s=req.arrival_s,
+                                 idempotency_key=req.idempotency_key)
         self._outcomes[req.request_id] = outcome
+        # Exactly-once acknowledgement: a key that already completed is
+        # answered from the journaled digest before quota is consulted —
+        # a client retrying an acknowledged request must not be charged,
+        # shed, or (worse) solved twice.  During recovery the journaled
+        # admission decision wins: the seeded key map also knows about
+        # completions that happened *after* this arrival originally.
+        adm = self.replay.admissions.get(req.request_id)
+        if adm is not None:
+            done = (self._completed_keys.get(req.idempotency_key)
+                    if adm.get("type") == "dedup" else None)
+            if adm.get("type") == "dedup" and done is None:
+                raise JournalError(
+                    f"journal dedups {req.request_id} against key "
+                    f"{req.idempotency_key!r}, but no completion for that "
+                    f"key precedes it")
+        else:
+            done = (self._completed_keys.get(req.idempotency_key)
+                    if req.idempotency_key else None)
+        if done is not None:
+            outcome.status = "completed"
+            outcome.deduplicated = True
+            outcome.solver = done.get("solver", "")
+            outcome.finish_s = self.now
+            if self.results is not None and done.get("digest"):
+                outcome.x = self.results.load(done["request_id"],
+                                              done["digest"])
+            self.deduplicated += 1
+            self._count("deduplicated")
+            self._journal({"type": "dedup", "request_id": req.request_id,
+                           "key": req.idempotency_key,
+                           "source": done["request_id"], "now": self.now})
+            return
         if not self._bucket(req.tenant).try_acquire(self.now):
             outcome.shed_reason = "quota"
             outcome.finish_s = self.now
             self._count("shed.quota")
+            self._journal({"type": "shed", "request_id": req.request_id,
+                           "reason": "quota", "now": self.now})
             return
         if len(self._queue) >= self.config.max_queue:
             outcome.shed_reason = "queue_full"
             outcome.finish_s = self.now
             self._count("shed.queue")
+            self._journal({"type": "shed", "request_id": req.request_id,
+                           "reason": "queue_full", "now": self.now})
             return
         self._count("admitted")
+        self._journal({"type": "accepted", "request_id": req.request_id,
+                       "tenant": req.tenant, "arrival_s": req.arrival_s,
+                       "key": req.idempotency_key, "n": req.n,
+                       "deck_sha": deck_fingerprint(req.deck_text)})
         self._enqueue(_Pending(req=req, outcome=outcome))
 
     def _enqueue(self, pending: _Pending) -> None:
@@ -243,10 +346,30 @@ class ServiceEngine:
             return pending.parse_error is None
         try:
             deck = parse_deck_text(pending.req.deck_text)
-            pending.options = deck_solver_options(deck)
+            options = deck_solver_options(deck)
+            if self.checkpoint_root is not None \
+                    and options.checkpoint_interval > 0:
+                # Service-managed durability: the deck's
+                # ``tl_checkpoint_interval`` becomes the guard's snapshot
+                # cadence and the shards land in the per-request
+                # directory under ``checkpoint_root`` (the deck's own
+                # ``tl_checkpoint_dir`` is a placeholder here).
+                options = replace(
+                    options,
+                    guard_interval=(options.guard_interval
+                                    or options.checkpoint_interval),
+                    checkpoint_interval=0, checkpoint_dir="")
+            pending.options = options
         except (ConfigurationError, ValueError) as exc:
             pending.parse_error = exc
         return pending.parse_error is None
+
+    def _checkpoint_dir_for(self, pending: _Pending):
+        """Per-request durable solver-shard directory (or ``None``)."""
+        if self.checkpoint_root is None or pending.options is None \
+                or pending.options.guard_interval <= 0:
+            return None
+        return self.checkpoint_root / pending.req.request_id
 
     def _cache_key(self, options, n: int):
         return (n, self.config.group_size, options.solver,
@@ -299,6 +422,9 @@ class ServiceEngine:
         outcome.worker = worker.wid
         pending.last_worker = worker.wid
         worker.breaker.on_dispatch()
+        self._journal({"type": "dispatched", "request_id": req.request_id,
+                       "attempt": pending.attempts, "worker": worker.wid,
+                       "now": self.now})
 
         if not self._parse(pending):
             exc = pending.parse_error
@@ -342,6 +468,11 @@ class ServiceEngine:
                              status="cancelled")
                 return
             cancel = ScheduledCancel(token, cancel_at)
+        if self.config.stuck_after_s > 0:
+            # Liveness allowance in iterations: deterministic on virtual
+            # time, so the supervisor never perturbs reproducibility.
+            cancel = SupervisedToken(
+                cancel, int(self.config.stuck_after_s / cost))
 
         plan = None
         if req.chaos_trial >= 0:
@@ -359,9 +490,81 @@ class ServiceEngine:
         key, setup, cache_hit = self._setup_for(options, req.n)
         outcome.cache_hit = cache_hit
 
-        with self.tracer.span("request", req.request_id):
-            result = worker.execute(options, req.n, plan=plan,
-                                    cancel=cancel, setup=setup)
+        # Exactly-once execution: an attempt whose classified result is
+        # already journaled is *replayed*, not re-solved — converged
+        # solutions come back out of the durable result store.  A
+        # damaged result shard degrades to a deterministic re-solve,
+        # digest-checked against the journal below.
+        entry = self.replay.attempts.get((req.request_id, pending.attempts)) \
+            if self.journal is not None else None
+        result = None
+        replayed = False
+        if entry is not None:
+            x = None
+            if entry["kind"] == "ok":
+                x = (self.results.load(req.request_id, entry["digest"])
+                     if self.results is not None else None)
+            if entry["kind"] != "ok" or x is not None:
+                result = synthesize_result(entry, x)
+                replayed = True
+                self.replayed_attempts += 1
+                self._count("replayed")
+        if result is None:
+            # The in-flight crash victim (dispatched pre-crash, no
+            # attempt record) resumes mid-solve from its durable guard
+            # shards — only without a fault plan, whose injection points
+            # are op-indexed and must not be shifted by recovery traffic.
+            resume: bool | str = False
+            ckpt_dir = self._checkpoint_dir_for(pending)
+            if ckpt_dir is not None and plan is None \
+                    and self.replay.resumable(req.request_id,
+                                              pending.attempts):
+                resume = "exact"
+            with self.tracer.span("request", req.request_id):
+                result = worker.execute(options, req.n, plan=plan,
+                                        cancel=cancel, setup=setup,
+                                        checkpoint_dir=ckpt_dir,
+                                        resume=resume)
+            if resume == "exact" and result.kind == "ok":
+                self.resumed_requests.append(req.request_id)
+                self._count("resumed")
+
+        digest = ""
+        if result.kind == "ok" and result.report is not None \
+                and result.report.x is not None:
+            if replayed:
+                digest = entry["digest"]
+            elif self.results is not None:
+                digest = self.results.save(req.request_id, result.report.x)
+            elif self.journal is not None:
+                digest = solution_digest(result.report.x)
+            if entry is not None and not replayed \
+                    and digest != entry["digest"]:
+                raise JournalError(
+                    f"re-solve of journaled request {req.request_id} "
+                    f"produced digest {digest[:12]}…, journal holds "
+                    f"{entry['digest'][:12]}… — the deterministic "
+                    f"replay diverged")
+        pending.digest = digest
+        if self.journal is not None:
+            rep = None
+            bounds = None
+            if result.report is not None:
+                rep = {"retries": result.report.retries,
+                       "degraded": bool(result.report.degraded),
+                       "virtual_time_s": result.report.virtual_time_s}
+                solved = getattr(result.report, "result", None)
+                eb = getattr(solved, "eigen_bounds", None)
+                if eb:
+                    bounds = [float(eb[0]), float(eb[1])]
+            self._journal({
+                "type": "attempt", "request_id": req.request_id,
+                "attempt": pending.attempts, "kind": result.kind,
+                "iterations": result.iterations, "report": rep,
+                "bounds": bounds, "digest": digest,
+                "error_class": result.error_class,
+                "error_message": (str(result.error)[:200]
+                                  if result.error is not None else "")})
 
         duration = (self.config.overhead_s + result.iterations * cost
                     + (result.report.virtual_time_s if result.report else 0.0))
@@ -392,8 +595,12 @@ class ServiceEngine:
                          status="failed", error=result.error)
             worker.breaker.record_success()   # solve failed, worker fine
             return
-        # Retryable: comm-level death (crash storm, exhausted retries).
-        self._count("retryable_failures")
+        # Retryable-class: comm-level death (crash storm, exhausted
+        # retries) or a supervisor-declared stuck dispatch — both count
+        # against the breaker and re-dispatch hedged while attempts
+        # remain.
+        self._count("stuck" if result.kind == "stuck"
+                    else "retryable_failures")
         finish_t = self.now + duration + self.config.failure_cost_s
         worker.busy_until = finish_t
         self._push(finish_t, "complete", (worker, None))
@@ -410,6 +617,11 @@ class ServiceEngine:
             outcome.error_message = str(result.error)[:200]
             outcome.finish_s = finish_t
             self._count("failed")
+            self._journal({"type": "terminal",
+                           "request_id": req.request_id,
+                           "status": "failed", "finish_s": finish_t,
+                           "key": req.idempotency_key, "digest": "",
+                           "solver": outcome.solver})
 
     def _cache_bounds(self, key, solve_result) -> None:
         bounds = getattr(solve_result, "eigen_bounds", None)
@@ -437,6 +649,15 @@ class ServiceEngine:
         worker.busy_until = finish_t
         self._push(finish_t, "complete", (worker, None))
         self._count(status)
+        digest = pending.digest if status in ("completed", "degraded") else ""
+        terminal = {"type": "terminal", "request_id": outcome.request_id,
+                    "status": status, "finish_s": finish_t,
+                    "key": pending.req.idempotency_key, "digest": digest,
+                    "solver": outcome.solver}
+        self._journal(terminal)
+        if digest and pending.req.idempotency_key:
+            self._completed_keys.setdefault(
+                pending.req.idempotency_key, terminal)
 
     # -- completion ------------------------------------------------------------
 

@@ -1,0 +1,337 @@
+"""Crash-consistent write-ahead journal for service requests.
+
+Every request lifecycle transition the engine takes — ``accepted``,
+``shed``, ``dispatched``, ``attempt``, ``terminal`` — is framed and
+appended here *before* the engine acts on it, so a ``kill -9`` of the
+service process can lose at most the one record whose bytes were still
+in flight.  On restart the engine replays the journal deterministically
+(see :mod:`repro.service.recovery`).
+
+Format
+------
+A journal is a directory of segments.  Each record is a *frame*::
+
+    <u32 payload length> <u32 CRC32(payload)> <payload>
+
+with the payload a canonical JSON object (sorted keys, compact
+separators) — canonical so that byte equality of frames is exactly
+semantic equality of records, which is what replay verification leans
+on.  The active segment is ``wal-NNNNNN.open``; once it holds
+``segment_records`` records it is fsynced and atomically renamed to
+``wal-NNNNNN.log`` (then the directory is fsynced), so a *sealed*
+segment is durable and complete by construction.
+
+Torn tails
+----------
+A SIGKILL mid-append leaves a partial frame at the end of the active
+segment.  That is the expected crash signature, not corruption: on open
+the tail is healed — parsing stops at the last intact frame, a
+structured warning is recorded, and the file is truncated back to the
+valid prefix before new appends.  A bad frame in a *sealed* segment, by
+contrast, raises :class:`~repro.utils.errors.JournalError`: sealed
+bytes were fsynced before the rename, so damage there is bit rot the
+journal must not paper over.
+
+Replay verification
+-------------------
+Recovery re-runs the engine trajectory and re-offers every record via
+:meth:`RequestJournal.append`.  While the internal cursor is inside the
+replayed prefix, ``append`` *verifies* instead of writing — byte-equal
+frames advance the cursor for free; a divergent frame raises
+``JournalError`` (the "deterministic" re-run was not).  Past the
+prefix, appends hit disk again.  One code path, exactly-once effects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import struct
+import zlib
+from pathlib import Path
+
+from repro.utils.errors import JournalError
+
+__all__ = ["RequestJournal", "encode_record", "scan_journal",
+           "SEGMENT_RECORDS"]
+
+_HEADER = struct.Struct("<II")
+
+#: records per segment before an fsync+rename roll
+SEGMENT_RECORDS = 64
+
+_KILL_MODES = ("clean", "torn")
+
+
+def encode_record(record: dict) -> bytes:
+    """Canonical JSON payload bytes for ``record``.
+
+    Canonicalisation (sorted keys, compact separators) makes payload
+    byte equality coincide with record equality, so replay verification
+    is a ``bytes`` compare instead of a structural diff.
+    """
+    try:
+        payload = json.dumps(record, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise JournalError(
+            f"journal record is not JSON-serializable: {exc}") from exc
+    return payload
+
+
+def _parse(data: bytes):
+    """Parse frames; return ``(records, payloads, valid_end, error)``.
+
+    ``error`` is ``None`` for a clean parse, else a human-readable
+    description of the first bad frame; ``valid_end`` is the byte offset
+    of the last intact frame boundary either way.
+    """
+    records: list[dict] = []
+    payloads: list[bytes] = []
+    off, n = 0, len(data)
+    while off < n:
+        if off + _HEADER.size > n:
+            return records, payloads, off, f"torn frame header at byte {off}"
+        length, crc = _HEADER.unpack_from(data, off)
+        start = off + _HEADER.size
+        end = start + length
+        if end > n:
+            return (records, payloads, off,
+                    f"torn payload at byte {off} ({length} byte(s) framed, "
+                    f"{n - start} present)")
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return records, payloads, off, f"CRC32 mismatch at byte {off}"
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return records, payloads, off, f"undecodable record at byte {off}"
+        records.append(record)
+        payloads.append(bytes(payload))
+        off = end
+    return records, payloads, off, None
+
+
+def _segment_index(path: Path) -> int:
+    try:
+        return int(path.stem.split("-", 1)[1])
+    except (IndexError, ValueError) as exc:
+        raise JournalError(f"unrecognized segment name {path.name}") from exc
+
+
+def scan_journal(root) -> tuple[list[dict], list[str]]:
+    """Read-only audit: all records plus any torn-tail warnings.
+
+    Never mutates the journal directory — safe for post-mortem checks
+    (the soak's duplicate-solve audit) while another process owns the
+    active segment.
+    """
+    root = Path(root)
+    records: list[dict] = []
+    warnings: list[str] = []
+    for path in sorted(root.glob("wal-*.log")):
+        recs, _, _, err = _parse(path.read_bytes())
+        if err is not None:
+            raise JournalError(f"sealed segment {path.name} corrupt: {err}")
+        records.extend(recs)
+    for path in sorted(root.glob("wal-*.open")):
+        recs, _, _, err = _parse(path.read_bytes())
+        if err is not None:
+            warnings.append(f"torn tail in {path.name}: {err} "
+                            f"(kept {len(recs)} record(s))")
+        records.extend(recs)
+    return records, warnings
+
+
+class RequestJournal:
+    """Segmented, CRC32-framed write-ahead log with replay verification."""
+
+    def __init__(self, root, *, segment_records: int = SEGMENT_RECORDS):
+        if segment_records < 1:
+            raise JournalError(
+                f"segment_records must be >= 1, got {segment_records}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.segment_records = segment_records
+        #: structured torn-tail warnings from the last open
+        self.warnings: list[str] = []
+        self._records: list[dict] = []
+        self._payloads: list[bytes] = []
+        self._cursor = 0
+        self._kill_after: int | None = None
+        self._kill_mode = "clean"
+        self._load()
+
+    # -- open / replay ---------------------------------------------------------
+
+    def _load(self) -> None:
+        sealed = sorted(self.root.glob("wal-*.log"))
+        indices = [_segment_index(p) for p in sealed]
+        if indices != list(range(len(sealed))):
+            raise JournalError(
+                f"sealed segments are not contiguous: {indices}")
+        for path in sealed:
+            recs, pays, _, err = _parse(path.read_bytes())
+            if err is not None:
+                raise JournalError(
+                    f"sealed segment {path.name} corrupt: {err}")
+            self._records.extend(recs)
+            self._payloads.extend(pays)
+        active = sorted(self.root.glob("wal-*.open"))
+        if len(active) > 1:
+            raise JournalError(
+                f"multiple active segments: {[p.name for p in active]}")
+        if active:
+            path = active[0]
+            index = _segment_index(path)
+            if index != len(sealed):
+                raise JournalError(
+                    f"active segment {path.name} does not follow the "
+                    f"{len(sealed)} sealed segment(s)")
+            data = path.read_bytes()
+            recs, pays, valid_end, err = _parse(data)
+            if err is not None:
+                self.warnings.append(
+                    f"torn tail healed in {path.name}: {err} "
+                    f"(kept {len(recs)} record(s))")
+            self._records.extend(recs)
+            self._payloads.extend(pays)
+            self._active_index = index
+            self._active_path = path
+            self._active_records = len(recs)
+            self._fh = open(path, "r+b")
+            self._fh.seek(valid_end)
+            self._fh.truncate()
+        else:
+            self._active_index = len(sealed)
+            self._open_segment()
+        self._count = len(self._records)
+
+    # -- segment management ----------------------------------------------------
+
+    def _open_segment(self) -> None:
+        self._active_path = self.root / f"wal-{self._active_index:06d}.open"
+        self._fh = open(self._active_path, "ab")
+        self._active_records = 0
+
+    def _fsync_dir(self) -> None:
+        fd = os.open(self.root, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _seal_segment(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        os.rename(self._active_path, self._active_path.with_suffix(".log"))
+        self._fsync_dir()
+        self._active_index += 1
+        self._open_segment()
+
+    # -- the one append path ---------------------------------------------------
+
+    @property
+    def record_count(self) -> int:
+        """Durable records on disk (replayed prefix + new appends)."""
+        return self._count
+
+    @property
+    def records(self) -> list[dict]:
+        """All records in order (parsed copies; do not mutate)."""
+        return list(self._records)
+
+    def fast_forward(self) -> None:
+        """Skip replay verification: subsequent appends are new records.
+
+        For append-only owners — the wall-clock asyncio front-end, whose
+        trajectory is not deterministically replayable.  The virtual-time
+        engine must *not* call this: verify-or-append is what catches a
+        divergent recovery re-run.
+        """
+        self._cursor = len(self._records)
+
+    def append(self, record: dict) -> dict:
+        """Verify-or-append ``record``; return its normalized form.
+
+        Inside the replayed prefix this verifies byte equality and
+        writes nothing; past it, the frame is appended and flushed.
+        """
+        payload = encode_record(record)
+        if self._cursor < len(self._records):
+            if payload != self._payloads[self._cursor]:
+                held = self._records[self._cursor]
+                raise JournalError(
+                    f"replay divergence at record {self._cursor}: journal "
+                    f"holds kind={held.get('kind')!r} "
+                    f"request={held.get('request_id')!r}, replay produced "
+                    f"kind={record.get('kind')!r} "
+                    f"request={record.get('request_id')!r}")
+            normalized = self._records[self._cursor]
+            self._cursor += 1
+            return normalized
+        if self._active_records >= self.segment_records:
+            self._seal_segment()
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        if self._kill_after is not None and self._count + 1 >= self._kill_after:
+            self._die(frame, payload)
+        self._fh.write(frame)
+        self._fh.flush()
+        normalized = json.loads(payload.decode("utf-8"))
+        self._records.append(normalized)
+        self._payloads.append(payload)
+        self._count += 1
+        self._cursor += 1
+        self._active_records += 1
+        return normalized
+
+    # -- crash injection (soak harness only) -----------------------------------
+
+    def arm_kill(self, after_records: int, mode: str = "clean") -> None:
+        """SIGKILL this process when the durable count would reach
+        ``after_records``.
+
+        ``clean`` writes the fatal record fully first (the crash lands
+        *between* records); ``torn`` writes only part of its frame (the
+        crash lands *inside* a record, exercising tail healing).  Used
+        exclusively by the kill/restart soak harness.
+        """
+        if mode not in _KILL_MODES:
+            raise JournalError(f"unknown kill mode {mode!r}")
+        if after_records < 1:
+            raise JournalError(
+                f"kill point must be >= 1, got {after_records}")
+        self._kill_after = after_records
+        self._kill_mode = mode
+
+    def _die(self, frame: bytes, payload: bytes) -> None:
+        if self._kill_mode == "torn" and len(payload) > 1:
+            # Half the payload: header intact, CRC can't match.
+            self._fh.write(frame[:_HEADER.size + len(payload) // 2])
+        else:
+            self._fh.write(frame)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Force the active segment to stable storage."""
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Flush, fsync and release the active segment (left ``.open``)."""
+        if self._fh.closed:
+            return
+        self.sync()
+        self._fh.close()
+
+    def __enter__(self) -> "RequestJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

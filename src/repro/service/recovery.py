@@ -1,0 +1,213 @@
+"""Exactly-once replay of the request journal after a crash.
+
+The engine's journal (:mod:`repro.service.journal`) records every
+lifecycle transition *before* acting on it.  This module is the read
+side: given the surviving records, build the :class:`ReplayIndex` a
+restarted engine consults while it re-runs its deterministic
+trajectory —
+
+- an ``attempt`` record means the solve's classified result is already
+  durable: the engine *skips the solve* and synthesizes an equivalent
+  :class:`~repro.service.worker.ExecutionResult` from the record (plus
+  the solution array out of the :class:`ResultStore` for converged
+  attempts), so acknowledged work is never redone;
+- a ``dispatched`` record without a matching ``attempt`` marks the
+  in-flight crash victim: the engine re-executes it, resuming
+  mid-solve from its durable guard shards when the request opted into
+  checkpointing (``resume="exact"``);
+- ``terminal`` records with an idempotency key feed the exactly-once
+  acknowledgement map — a later submission reusing the key is served
+  the journaled digest without a solve, across restarts.
+
+The :class:`ResultStore` persists converged solutions as CRC-validated
+``.npz`` shards (reusing the checkpoint shard format) keyed by request
+id, with a content digest cross-checked against the journal on load.  A
+damaged shard degrades to a warning and a deterministic re-solve — whose
+digest must then match the journaled one, or recovery aborts with
+:class:`~repro.utils.errors.JournalError` (the re-run diverged).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.resilience.checkpoint import load_shard, write_shard
+from repro.utils.errors import CheckpointError
+
+__all__ = ["RecoveryWarning", "ReplayIndex", "ResultStore",
+           "deck_fingerprint", "replay_error", "solution_digest",
+           "synthesize_result"]
+
+
+class RecoveryWarning(UserWarning):
+    """A durable artifact was damaged; recovery degraded instead of dying."""
+
+
+def deck_fingerprint(deck_text: str) -> str:
+    """SHA-256 of the deck bytes — ties journal records to their input."""
+    return hashlib.sha256(deck_text.encode("utf-8")).hexdigest()
+
+
+def solution_digest(x) -> str:
+    """Content digest of a solution array (dtype/shape/bytes)."""
+    a = np.ascontiguousarray(x)
+    h = hashlib.sha256()
+    h.update(str(a.dtype).encode())
+    h.update(str(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class ReplayIndex:
+    """What the journal already knows, keyed for the engine's re-run."""
+
+    #: (request_id, attempt) -> attempt record (solve already classified)
+    attempts: dict = field(default_factory=dict)
+    #: (request_id, attempt) -> dispatched record
+    dispatched: dict = field(default_factory=dict)
+    #: request_id -> terminal record
+    terminals: dict = field(default_factory=dict)
+    #: request_id -> admission record (accepted / shed / dedup) — the
+    #: journaled *decision*, which replay must follow verbatim: the
+    #: fully-seeded key map below knows about completions that happened
+    #: *after* this admission in the original run
+    admissions: dict = field(default_factory=dict)
+    #: idempotency key -> terminal record of the acknowledged completion
+    completed_by_key: dict = field(default_factory=dict)
+    #: total records indexed
+    record_count: int = 0
+
+    @classmethod
+    def from_records(cls, records: list[dict]) -> "ReplayIndex":
+        index = cls(record_count=len(records))
+        for rec in records:
+            kind = rec.get("type")
+            rid = rec.get("request_id", "")
+            if kind in ("accepted", "shed", "dedup"):
+                index.admissions[rid] = rec
+            elif kind == "dispatched":
+                index.dispatched[(rid, rec["attempt"])] = rec
+            elif kind == "attempt":
+                index.attempts[(rid, rec["attempt"])] = rec
+            elif kind == "terminal":
+                index.terminals[rid] = rec
+                key = rec.get("key", "")
+                if key and rec.get("status") in ("completed", "degraded"):
+                    index.completed_by_key.setdefault(key, rec)
+        return index
+
+    def in_flight(self) -> list[tuple[str, int]]:
+        """Dispatches the crash interrupted mid-solve (newest attempt only)."""
+        return sorted(
+            (rid, attempt) for (rid, attempt) in self.dispatched
+            if (rid, attempt) not in self.attempts
+            and rid not in self.terminals)
+
+    def resumable(self, request_id: str, attempt: int) -> bool:
+        """True when this exact dispatch died mid-solve pre-crash."""
+        return ((request_id, attempt) in self.dispatched
+                and (request_id, attempt) not in self.attempts
+                and request_id not in self.terminals)
+
+
+class ResultStore:
+    """Durable converged-solution store backing exactly-once replies.
+
+    One atomically-written, CRC-validated ``.npz`` shard per request id
+    (the checkpoint shard format — a flipped bit surfaces on load, not
+    as a silently wrong answer).  ``load`` additionally cross-checks the
+    journaled content digest; any damage degrades to ``None`` plus a
+    :class:`RecoveryWarning`, and the caller re-solves deterministically.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.saves = 0
+
+    def path_for(self, request_id: str) -> Path:
+        return self.root / f"result-{request_id}.npz"
+
+    def save(self, request_id: str, x) -> str:
+        """Persist the solution; return its content digest."""
+        digest = solution_digest(x)
+        write_shard(self.path_for(request_id), {"x": np.asarray(x)},
+                    {"digest": digest, "request_id": request_id})
+        self.saves += 1
+        return digest
+
+    def load(self, request_id: str, expected_digest: str):
+        """The stored solution, or ``None`` (+ warning) when unusable."""
+        path = self.path_for(request_id)
+        if not path.is_file():
+            warnings.warn(
+                f"result shard missing for {request_id}; re-solving",
+                RecoveryWarning, stacklevel=2)
+            return None
+        try:
+            arrays, scalars = load_shard(path)
+        except CheckpointError as exc:
+            warnings.warn(
+                f"result shard for {request_id} unreadable ({exc}); "
+                f"re-solving", RecoveryWarning, stacklevel=2)
+            return None
+        x = arrays.get("x")
+        if x is None or (expected_digest
+                         and scalars.get("digest") != expected_digest) \
+                or (expected_digest
+                    and solution_digest(x) != expected_digest):
+            warnings.warn(
+                f"result shard for {request_id} does not match the "
+                f"journaled digest; re-solving", RecoveryWarning,
+                stacklevel=2)
+            return None
+        return x
+
+
+_ERROR_TYPES: dict[str, type] = {}
+
+
+def replay_error(error_class: str, message: str) -> BaseException:
+    """An exception whose type name / str match a journaled failure.
+
+    The engine reports errors structurally (``type(e).__name__`` +
+    ``str(e)``), so a dynamically named stand-in keeps replayed outcome
+    ledgers byte-identical without re-raising the original machinery.
+    """
+    cls = _ERROR_TYPES.get(error_class)
+    if cls is None:
+        cls = type(error_class, (RuntimeError,), {
+            "__doc__": "Replayed stand-in for a journaled failure."})
+        _ERROR_TYPES[error_class] = cls
+    return cls(message)
+
+
+def synthesize_result(entry: dict, x=None):
+    """An :class:`ExecutionResult`-equivalent built from an ``attempt``
+    record — what the engine uses instead of re-running the solve."""
+    from repro.service.worker import ExecutionResult
+
+    error = None
+    if entry.get("error_class"):
+        error = replay_error(entry["error_class"],
+                             entry.get("error_message", ""))
+    report = None
+    rep = entry.get("report")
+    if rep is not None:
+        bounds = entry.get("bounds")
+        report = SimpleNamespace(
+            retries=int(rep["retries"]),
+            degraded=bool(rep["degraded"]),
+            virtual_time_s=float(rep["virtual_time_s"]),
+            x=x,
+            result=SimpleNamespace(
+                eigen_bounds=tuple(bounds) if bounds else None))
+    return ExecutionResult(entry["kind"], report=report, error=error,
+                           iterations=int(entry["iterations"]))

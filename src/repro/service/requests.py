@@ -34,6 +34,13 @@ class SolveRequest:
     re-dispatches of retryable failures (worker crash, exhausted comm
     retry budget) — distinct from the per-attempt comm-level retry
     budget inside the resilient stack.
+
+    A non-empty ``idempotency_key`` opts the request into exactly-once
+    acknowledgement: once any request bearing the key completes, later
+    submissions with the same key are served the journaled result
+    (status ``completed``, ``deduplicated=True``) without a solve —
+    including across a crash/restart when the engine runs with a
+    :class:`~repro.service.journal.RequestJournal`.
     """
 
     request_id: str
@@ -46,6 +53,7 @@ class SolveRequest:
     max_attempts: int = 2
     chaos_trial: int = -1  #: >= 0 seeds a fault plan for this request
     chaos_crash: bool = False  #: fault plan includes a fatal rank crash
+    idempotency_key: str = ""  #: non-empty: exactly-once dedup key
 
 
 @dataclass
@@ -68,6 +76,8 @@ class RequestOutcome:
     cache_hit: bool = False
     worker: int = -1
     retries: int = 0           #: comm-level retries inside the stack
+    idempotency_key: str = ""
+    deduplicated: bool = False  #: served from a prior completion's journal
     x = None                   #: solution array (oracle input; not in ledgers)
 
     @property
@@ -97,4 +107,6 @@ class RequestOutcome:
             "cache_hit": self.cache_hit,
             "worker": self.worker,
             "retries": self.retries,
+            "idempotency_key": self.idempotency_key,
+            "deduplicated": self.deduplicated,
         }

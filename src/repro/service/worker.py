@@ -24,6 +24,7 @@ from repro.utils.errors import (
     ConfigurationError,
     ConvergenceError,
     DeadlineExceeded,
+    WorkerStuck,
 )
 
 
@@ -31,7 +32,8 @@ from repro.utils.errors import (
 class ExecutionResult:
     """Classified outcome of one worker execution attempt."""
 
-    #: "ok" | "deadline_exceeded" | "cancelled" | "retryable" | "fatal"
+    #: "ok" | "deadline_exceeded" | "cancelled" | "stuck" | "retryable"
+    #: | "fatal"
     kind: str
     report: ResilienceReport | None = None
     error: BaseException | None = None
@@ -77,7 +79,9 @@ class WorkerGroup:
 
     def execute(self, options: SolverOptions, n: int,
                 plan: FaultPlan | None = None,
-                cancel=None, setup=None) -> ExecutionResult:
+                cancel=None, setup=None,
+                checkpoint_dir=None,
+                resume: bool | str = False) -> ExecutionResult:
         """Run one solve and classify how it ended.
 
         Classification drives the engine's terminal-status guarantee:
@@ -85,11 +89,20 @@ class WorkerGroup:
         - ``ok`` — converged (possibly internally degraded) result;
         - ``deadline_exceeded`` / ``cancelled`` — the cancel token fired
           at an iteration boundary; every rank stopped coherently;
+        - ``stuck`` — the supervisor declared the dispatch dead
+          (:class:`~repro.utils.errors.WorkerStuck`): re-dispatch
+          elsewhere, and count it against the breaker;
         - ``retryable`` — comm-level failure (crash storm, exhausted
           retry budget, recv timeout): worth re-dispatching elsewhere,
           and what the breaker counts;
         - ``fatal`` — structured non-retryable failure (poison options,
           breakdown, stalled convergence): re-dispatching cannot help.
+
+        ``checkpoint_dir`` makes guard snapshots durable (per-rank
+        solver shards); ``resume`` restores from them first — the
+        crash-recovery engine passes ``resume="exact"`` to continue the
+        interrupted CG recurrence bit-identically (see
+        :func:`~repro.resilience.runner.run_resilient`).
         """
         self.executed += 1
         run_plan = plan if plan is not None else FaultPlan.disabled()
@@ -97,9 +110,16 @@ class WorkerGroup:
             report = run_resilient(options, run_plan, n=n,
                                    size=self.group_size,
                                    max_attempts=self.max_attempts,
-                                   cancel=cancel, setup=setup)
+                                   cancel=cancel, setup=setup,
+                                   checkpoint_dir=checkpoint_dir,
+                                   resume=resume)
         except DeadlineExceeded as exc:
             return ExecutionResult("deadline_exceeded", error=exc,
+                                   iterations=max(0, _iteration_of(exc)))
+        except WorkerStuck as exc:
+            # Before Cancelled: WorkerStuck subclasses it (same coherent
+            # iteration-boundary abort, different disposition).
+            return ExecutionResult("stuck", error=exc,
                                    iterations=max(0, _iteration_of(exc)))
         except Cancelled as exc:
             return ExecutionResult("cancelled", error=exc,

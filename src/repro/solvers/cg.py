@@ -29,7 +29,11 @@ from repro.solvers.preconditioners import (
     Preconditioner,
 )
 from repro.solvers.result import SolveResult
-from repro.utils.errors import ConvergenceError, stall_error
+from repro.utils.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    stall_error,
+)
 from repro.utils.events import recovery_scope, replacement_scope
 from repro.utils.validation import check_finite_field, check_positive
 
@@ -80,6 +84,7 @@ def cg_solve(
     replace_tolerance: float = 0.0,
     stagnation_window: int = 0,
     cancel=None,
+    resume_state: dict | None = None,
 ) -> SolveResult:
     """Solve ``A x = b`` with (preconditioned) CG.
 
@@ -140,6 +145,21 @@ def cg_solve(
         *before* the iteration issues any communication, so a fired
         token stops all ranks at the same boundary with no in-flight
         messages.  An inert token is bit-transparent.
+    resume_state:
+        Exact mid-solve resume from a durable guard snapshot:
+        ``{"iteration": k, "arrays": {"x","r","p"}, "scalars":
+        {"rz","rr","pa","reference"}}`` (the shape a
+        :class:`~repro.resilience.checkpoint.SolverCheckpointStore`
+        shard holds).  The entire pre-loop phase is skipped and the
+        recurrence continues from iteration ``k`` with the restored
+        fields and scalars — exactly a guard rollback, but into a fresh
+        process.  Because snapshots are taken at iteration boundaries,
+        the resumed trajectory is **bit-identical** to the
+        uninterrupted run from ``k`` on, provided nothing perturbs the
+        replay: no fault injection and ``replace_interval=0`` (the
+        replacer's condition estimates depend on the truncated
+        coefficient history).  ``x0`` and ``reference_norm`` are
+        ignored when resuming.
 
     Returns
     -------
@@ -166,34 +186,60 @@ def cg_solve(
     from repro.observe.trace import tracer_of
     tracer = tracer_of(op)
 
-    x = x0.copy() if x0 is not None else op.new_field()
-    r = op.new_field()
     w = op.new_field()
-    op.residual(b, x, out=r)
-
-    if identity:
-        z = r
-        (rz,) = op.dots([(r, r)])
-        rr = rz
-    else:
-        z = op.new_field()
-        with tracer.span("precond", solver_name):
-            M.apply(r, z)
-        rz, rr = op.dots([(r, z), (r, r)])
-    p = z.copy()
-
-    r0_norm = float(np.sqrt(rr))
-    reference = r0_norm if reference_norm is None else reference_norm
-    threshold = eps * reference
-    history = [r0_norm]
     alphas: list[float] = []
     betas: list[float] = []
 
-    converged = r0_norm <= threshold
-    iterations = 0
-    # the pre-loop z = M^-1 r counts toward inner-iteration accounting
-    precond_applies = 0 if identity else 1
-    res_norm = r0_norm
+    if resume_state is not None:
+        if replace_interval:
+            raise ConfigurationError(
+                "exact CG resume is incompatible with residual "
+                "replacement (replace_interval must be 0)")
+        arrays = resume_state["arrays"]
+        scalars = resume_state["scalars"]
+        x, r, p = op.new_field(), op.new_field(), op.new_field()
+        x.data[...] = arrays["x"]
+        r.data[...] = arrays["r"]
+        p.data[...] = arrays["p"]
+        # z is recomputed from r before its first use in the loop body;
+        # for the identity preconditioner it must alias r as usual.
+        z = r if identity else op.new_field()
+        rz = float(scalars["rz"])
+        rr = float(scalars["rr"])
+        precond_applies = int(scalars["pa"])
+        reference = float(scalars["reference"])
+        iterations = int(resume_state["iteration"])
+        threshold = eps * reference
+        res_norm = float(np.sqrt(rr))
+        r0_norm = reference
+        history = [res_norm]
+        converged = res_norm <= threshold
+    else:
+        x = x0.copy() if x0 is not None else op.new_field()
+        r = op.new_field()
+        op.residual(b, x, out=r)
+
+        if identity:
+            z = r
+            (rz,) = op.dots([(r, r)])
+            rr = rz
+        else:
+            z = op.new_field()
+            with tracer.span("precond", solver_name):
+                M.apply(r, z)
+            rz, rr = op.dots([(r, z), (r, r)])
+        p = z.copy()
+
+        r0_norm = float(np.sqrt(rr))
+        reference = r0_norm if reference_norm is None else reference_norm
+        threshold = eps * reference
+        history = [r0_norm]
+
+        converged = r0_norm <= threshold
+        iterations = 0
+        # the pre-loop z = M^-1 r counts toward inner-iteration accounting
+        precond_applies = 0 if identity else 1
+        res_norm = r0_norm
 
     while not converged and iterations < max_iters:
         # Cancellation boundary: checked before the iteration issues any
@@ -213,7 +259,8 @@ def cg_solve(
                                    fields={"x": x, "r": r, "p": p},
                                    scalars={"rz": rz, "rr": rr,
                                             "pa": precond_applies,
-                                            "steps": len(alphas)})
+                                            "steps": len(alphas),
+                                            "reference": reference})
             # Fused matvec + direction dot: same exchange/allreduce budget
             # as the apply + dots pair, one streaming pass on fused
             # backends.

@@ -41,6 +41,7 @@ def solve_linear(
     guard=None,
     cancel=None,
     setup=None,
+    resume_state=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with the solver selected in ``options``.
 
@@ -65,6 +66,10 @@ def solve_linear(
     artifacts — Chebyshev eigenvalue bounds and a prefactorised local
     preconditioner — typically served by the service layer's LRU setup
     cache (:mod:`repro.service.cache`).
+
+    ``resume_state`` is an optional exact mid-solve resume snapshot
+    (see :func:`~repro.solvers.cg.cg_solve`); only the plain ``cg``
+    solver supports it.
     """
     opt = options if options is not None else SolverOptions()
     if op.halo < opt.required_field_halo:
@@ -98,7 +103,8 @@ def solve_linear(
 
     from repro.observe.trace import tracer_of
     with tracer_of(solve_op).span("solve", opt.solver):
-        result = _dispatch(solve_op, bb, xx, opt, guard, cancel, setup)
+        result = _dispatch(solve_op, bb, xx, opt, guard, cancel, setup,
+                           resume_state)
     if result.x.data.dtype != b.data.dtype:
         result.x = Field(result.x.tile, result.x.halo,
                          result.x.data.astype(b.data.dtype))
@@ -108,9 +114,14 @@ def solve_linear(
     return result
 
 
-def _dispatch(op, b, x0, opt, guard, cancel=None, setup=None) -> SolveResult:
+def _dispatch(op, b, x0, opt, guard, cancel=None, setup=None,
+              resume_state=None) -> SolveResult:
     bounds = setup.bounds if setup is not None else None
     prebuilt = setup.preconditioner if setup is not None else None
+    if resume_state is not None and opt.solver != "cg":
+        raise ConfigurationError(
+            f"exact mid-solve resume is only supported for the plain "
+            f"'cg' solver, not {opt.solver!r}")
     if opt.solver == "jacobi":
         return jacobi_solve(op, b, x0, eps=opt.eps, max_iters=opt.max_iters,
                             stagnation_window=opt.stagnation_window,
@@ -126,7 +137,7 @@ def _dispatch(op, b, x0, opt, guard, cancel=None, setup=None) -> SolveResult:
                         replace_adaptive=opt.replace_adaptive,
                         replace_tolerance=opt.replace_tolerance,
                         stagnation_window=opt.stagnation_window,
-                        cancel=cancel)
+                        cancel=cancel, resume_state=resume_state)
     if opt.solver == "cg_fused":
         from repro.solvers.cg_fused import cg_fused_solve
         M = prebuilt if prebuilt is not None \

@@ -77,6 +77,19 @@ class CheckpointError(ReproError, RuntimeError):
     """
 
 
+class JournalError(ReproError, RuntimeError):
+    """The write-ahead request journal is unusable or inconsistent.
+
+    Raised by :mod:`repro.service.journal` for corruption in a *sealed*
+    segment (sealed segments were fsynced before their atomic rename, so
+    damage there is real bit rot, not a torn tail) and for replay
+    divergence — a deterministic re-run producing a record that disagrees
+    with what the journal already holds.  A torn tail on the *active*
+    segment is expected after SIGKILL and is healed silently, never
+    raised.
+    """
+
+
 class Cancelled(ReproError, RuntimeError):
     """A cooperative cancellation request stopped a solve mid-flight.
 
@@ -93,6 +106,19 @@ class Cancelled(ReproError, RuntimeError):
     def __init__(self, message: str, iteration: int = -1):
         super().__init__(message)
         self.iteration = iteration
+
+
+class WorkerStuck(Cancelled):
+    """A worker supervisor declared a dispatch stuck and cancelled it.
+
+    Raised at an iteration boundary by a solve holding a tripped
+    :class:`~repro.service.supervisor.SupervisedToken`: either the
+    iteration count blew past the supervisor's liveness budget (virtual
+    clock) or the wall-clock watchdog fired (asyncio front-end).
+    Subclass of :class:`Cancelled` so the abort stays rank-coherent and
+    quiescent; the service classifies it separately and redispatches
+    under the breaker/hedging machinery instead of failing the request.
+    """
 
 
 class DeadlineExceeded(Cancelled):

@@ -19,6 +19,7 @@ from repro.physics.deck import parse_deck_text
 from repro.physics.simulation import restart_simulation, run_simulation
 from repro.resilience import (
     CHECKPOINT_SCHEMA,
+    CheckpointWarning,
     ChecksumComm,
     CrashWindow,
     FaultPlan,
@@ -33,6 +34,7 @@ from repro.resilience import (
     read_manifest,
     run_recoverable,
     run_resilient,
+    validate_checkpoint,
     write_shard,
 )
 from repro.resilience.checkpoint import META_KEY
@@ -126,6 +128,86 @@ class TestCommitAndLatest:
         step_dir = latest_checkpoint(tmp_path)
         with pytest.raises(CheckpointError, match="rank"):
             load_rank_checkpoint(step_dir, 0, 4)
+
+
+class TestCheckpointLoadFuzz:
+    """Seeded corruption of committed checkpoints: discovery must skip to
+    the last valid step with a :class:`CheckpointWarning`, never leak a
+    raw ``zipfile``/``KeyError``, and never serve damaged state."""
+
+    def _commit(self, root, steps=3):
+        for step in range(1, steps + 1):
+            commit_checkpoint(root, step, SerialComm(),
+                              {"u": np.full(6, float(step))},
+                              {"time": 0.1 * step, "step_index": step})
+
+    @staticmethod
+    def _shards(step_dir):
+        return sorted(step_dir.glob("shard-*.npz"))
+
+    def _corrupt(self, rng, step_dir):
+        """One seeded corruption; returns a description of what it did."""
+        mode = rng.choice(["truncate", "bitflip", "drop_shard",
+                           "garbage_manifest", "drop_manifest"])
+        shard = rng.choice(self._shards(step_dir))
+        if mode == "truncate":
+            size = shard.stat().st_size
+            with open(shard, "r+b") as fh:
+                fh.truncate(rng.randrange(1, size))
+        elif mode == "bitflip":
+            data = bytearray(shard.read_bytes())
+            data[rng.randrange(len(data))] ^= 1 << rng.randrange(8)
+            shard.write_bytes(bytes(data))
+        elif mode == "drop_shard":
+            shard.unlink()
+        elif mode == "garbage_manifest":
+            (step_dir / "manifest.json").write_text("{not json", "utf-8")
+        else:
+            (step_dir / "manifest.json").unlink()
+        return mode
+
+    def test_damaged_newest_degrades_to_previous_step(self, tmp_path):
+        import random
+
+        for seed in range(8):
+            rng = random.Random(seed)
+            root = tmp_path / f"seed-{seed}"
+            self._commit(root)
+            mode = self._corrupt(rng, root / "step-000003")
+            if mode == "drop_manifest":
+                # No manifest means "not a committed checkpoint": skipped
+                # silently (same as a torn .pending commit), no warning.
+                latest = latest_checkpoint(root)
+            else:
+                with pytest.warns(CheckpointWarning, match="step-000003"):
+                    latest = latest_checkpoint(root)
+            assert latest is not None and latest.name == "step-000002", mode
+            arrays, _, _ = load_rank_checkpoint(latest, 0, 1)
+            assert np.array_equal(arrays["u"], np.full(6, 2.0))
+
+    def test_every_step_damaged_yields_none(self, tmp_path):
+        import random
+
+        rng = random.Random(99)
+        self._commit(tmp_path, steps=2)
+        for step in ("step-000001", "step-000002"):
+            data = bytearray(self._shards(tmp_path / step)[0].read_bytes())
+            data[rng.randrange(len(data))] ^= 0xFF
+            (self._shards(tmp_path / step)[0]).write_bytes(bytes(data))
+        with pytest.warns(CheckpointWarning):
+            assert latest_checkpoint(tmp_path) is None
+
+    def test_validate_checkpoint_never_leaks_raw_errors(self, tmp_path):
+        import random
+
+        for seed in range(12):
+            rng = random.Random(1000 + seed)
+            root = tmp_path / f"seed-{seed}"
+            self._commit(root, steps=1)
+            step_dir = root / "step-000001"
+            self._corrupt(rng, step_dir)
+            with pytest.raises(CheckpointError):
+                validate_checkpoint(step_dir)
 
 
 class TestSolverCheckpointStore:

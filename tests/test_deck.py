@@ -140,3 +140,58 @@ class TestParseErrors:
         deck = parse_deck_text("*tea\nx_cells=8\n*endtea")
         with pytest.raises(ConfigurationError, match="no states"):
             deck_to_problem(deck)
+
+
+class TestDeckFuzz:
+    """Seeded deck fuzzing: every mutation either parses or raises a
+    structured :class:`ConfigurationError` naming the offending line —
+    never a raw ``ValueError``/``KeyError``/``TypeError``."""
+
+    MUTATIONS = (
+        "tl_made_up_knob=1",                # unknown tl_ key
+        "tl_eps=warm",                      # wrong type
+        "tl_max_iters=12.5",                # int key, float value
+        "use_cg",                           # duplicate solver flag
+        "tl_eps=1e-8",                      # duplicate setting
+        "x_cells",                          # no '=' and not a flag
+        "state 1 density=1 density=2 energy=1",   # duplicate state key
+        "tl_checkpoint_interval=-3",        # negative interval
+        "= = =",                            # token soup
+        "tl_eps=",                          # empty value
+    )
+
+    def test_seeded_mutations_fail_structurally(self):
+        import random
+
+        base = CROOKED_PIPE_DECK.format(n=8).replace("use_ppcg", "use_cg")
+        for seed in range(40):
+            rng = random.Random(seed)
+            lines = base.splitlines()
+            for _ in range(rng.randint(1, 3)):
+                pos = rng.randrange(1, len(lines) - 1)  # keep *tea/*endtea
+                mutation = rng.choice(self.MUTATIONS)
+                if rng.random() < 0.5:
+                    lines.insert(pos, mutation)
+                else:
+                    lines[pos] = mutation
+            text = "\n".join(lines) + "\n"
+            try:
+                parse_deck_text(text)
+            except ConfigurationError as exc:
+                assert "line " in str(exc), (seed, exc)
+            # any non-ConfigurationError escapes to pytest as a failure
+
+    def test_duplicate_setting_names_both_lines(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"line 3: duplicate setting 'tl_eps'"):
+            parse_deck_text("*tea\ntl_eps=1e-8\ntl_eps=1e-9\n*endtea")
+
+    def test_unknown_tl_key_names_key_and_line(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"line 2: unknown setting 'tl_flux'"):
+            parse_deck_text("*tea\ntl_flux=3\n*endtea")
+
+    def test_wrong_type_names_key_and_line(self):
+        with pytest.raises(ConfigurationError,
+                           match=r"line 2: bad value for tl_max_iters"):
+            parse_deck_text("*tea\ntl_max_iters=several\n*endtea")

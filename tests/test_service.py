@@ -370,3 +370,60 @@ class TestSolveServiceFront:
         first, second = asyncio.run(scenario())
         assert first.status in ("completed", "degraded")
         assert second.status == "shed" and second.shed_reason == "quota"
+
+
+class TestBreakerHalfOpenRace:
+    """Regression: two threads passing the half-open gate concurrently.
+
+    Historically ``allow()`` then ``on_dispatch()`` was check-then-act,
+    so two pool threads could both claim the single half-open probe and
+    stampede a recovering worker.  ``on_dispatch(now)`` is now the
+    atomic admit-and-claim; exactly one concurrent dispatcher may win.
+    """
+
+    def _half_open_breaker(self):
+        b = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        b.record_failure(0.0)
+        assert b.state == "open"
+        return b
+
+    def test_exactly_one_probe_under_contention(self):
+        import threading
+
+        for trial in range(20):
+            b = self._half_open_breaker()
+            nthreads = 8
+            barrier = threading.Barrier(nthreads)
+            wins = []
+
+            def dispatcher():
+                barrier.wait()          # maximize the collision window
+                if b.on_dispatch(2.0):  # past cooldown: half-open
+                    wins.append(threading.get_ident())
+
+            threads = [threading.Thread(target=dispatcher)
+                       for _ in range(nthreads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(wins) == 1, f"trial {trial}: {len(wins)} probes won"
+            assert b.state == "half_open"
+
+    def test_probe_slot_released_on_outcome(self):
+        b = self._half_open_breaker()
+        assert b.on_dispatch(2.0)
+        assert not b.on_dispatch(2.0)       # slot held
+        b.record_success()
+        assert b.state == "closed" and b.reclosed == 1
+        b2 = self._half_open_breaker()
+        assert b2.on_dispatch(2.0)
+        b2.record_failure(2.1)              # probe failed: re-open
+        assert b2.state == "open" and b2.opened == 2
+        assert not b2.on_dispatch(2.5)      # still cooling down
+
+    def test_allow_is_a_pure_query(self):
+        b = self._half_open_breaker()
+        assert b.allow(2.0) and b.allow(2.0)    # no claim, repeatable
+        assert b.on_dispatch()                  # legacy no-arg claim
+        assert not b.allow(2.0)                 # probe now held
